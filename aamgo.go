@@ -1,0 +1,449 @@
+// Package aamgo is an implementation and reproduction study of Atomic
+// Active Messages (AAM) — Besta & Hoefler, "Accelerating Irregular
+// Computations with Hardware Transactional Memory and Active Messages"
+// (HPDC'15) — as a pure-Go library.
+//
+// AAM executes fine-grained graph operators as activities spawned by
+// active messages and isolated by hardware transactional memory. The
+// library provides:
+//
+//   - the AAM runtime (operator registry, FF/FR × AS/MF message taxonomy,
+//     runtime coarsening of M operators per transaction, coalescing of C
+//     operators per message, failure handlers, and the ownership protocol
+//     for distributed transactions);
+//   - two interchangeable machine backends: a deterministic discrete-event
+//     simulator with emulated Haswell-TSX and Blue Gene/Q HTM (used to
+//     reproduce the paper's evaluation — see DESIGN.md for the
+//     substitution argument), and a native backend running on real
+//     goroutines with a TL2-style STM;
+//   - graph algorithms expressed as AAM operators (BFS, PageRank, Boruvka
+//     MST, SSSP, ST-connectivity, Boman coloring, connected components,
+//     Edmonds-Karp max flow) together with the baselines the paper
+//     compares against (Graph500 atomics, Galois-style locking, HAMA-style
+//     BSP, PBGL-style active messages, PAMI/MPI-3-RMA one-sided atomics);
+//   - the paper's §7/§8 future work: optimistic-locking and flat-combining
+//     isolation, the single-vertex tx→atomic lowering pass, sampling-based
+//     M prediction, and a GraphBLAS layer (package aamgo/gblas);
+//   - a benchmark harness that regenerates every table and figure of the
+//     paper's evaluation (internal/bench, cmd/aam-bench).
+//
+// The quickest entry points are the algorithm façades below; custom
+// operators use NewRuntime/NewEngine re-exported from the aam runtime.
+package aamgo
+
+import (
+	"fmt"
+	"time"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/algo"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/run"
+	"aamgo/internal/stats"
+	"aamgo/internal/vtime"
+)
+
+// Graph is the CSR graph type shared by all algorithms.
+type Graph = graph.Graph
+
+// Builder constructs graphs edge by edge.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Generators (see internal/graph for the full set).
+var (
+	// Kronecker generates a Graph500-style R-MAT power-law graph with
+	// 2^scale vertices and edgeFactor·2^scale edges.
+	Kronecker = graph.Kronecker
+	// ErdosRenyi generates G(n, p).
+	ErdosRenyi = graph.ErdosRenyi
+	// RoadGrid generates a road-network-like partial grid.
+	RoadGrid = graph.RoadGrid
+	// BarabasiAlbert generates a preferential-attachment graph.
+	BarabasiAlbert = graph.BarabasiAlbert
+	// Community generates a clustered social-network-like graph.
+	Community = graph.Community
+	// WebGraph generates a bow-tie web-like graph.
+	WebGraph = graph.WebGraph
+	// CitationDAG generates a layered citation-like DAG.
+	CitationDAG = graph.CitationDAG
+	// ReadEdgeList parses a whitespace-separated edge list.
+	ReadEdgeList = graph.ReadEdgeList
+	// WriteEdgeList writes a graph as an edge list.
+	WriteEdgeList = graph.WriteEdgeList
+	// ReadMETIS parses the METIS .graph interchange format.
+	ReadMETIS = graph.ReadMETIS
+	// WriteMETIS writes the METIS .graph interchange format.
+	WriteMETIS = graph.WriteMETIS
+	// ReadBinary parses the compact binary CSR format.
+	ReadBinary = graph.ReadBinary
+	// WriteBinary writes the compact binary CSR format.
+	WriteBinary = graph.WriteBinary
+	// ReadAuto sniffs binary/METIS/edge-list input and parses it.
+	ReadAuto = graph.ReadAuto
+)
+
+// Mechanism selects how activities are isolated (§4.1 of the paper).
+type Mechanism = aam.Mechanism
+
+// Isolation mechanisms. HTM, Atomic and Lock are the paper's §4.1
+// comparison; Optimistic (Kung-Robinson optimistic locking) and
+// FlatCombining (Hendler et al.) are the alternative mechanisms named in
+// the paper's conclusion, implemented as extensions.
+const (
+	HTM           = aam.MechHTM
+	Atomic        = aam.MechAtomic
+	Lock          = aam.MechLock
+	Optimistic    = aam.MechOptimistic
+	FlatCombining = aam.MechFlatCombining
+)
+
+// Config selects the machine and runtime parameters for one run.
+type Config struct {
+	// Backend is "sim" (deterministic, virtual time — the default) or
+	// "native" (real goroutines and wall-clock time).
+	Backend string
+	// Machine is the simulated machine profile: "bgq" (Blue Gene/Q node,
+	// 64 threads), "has-c" (Haswell commodity box, 8 threads), or
+	// "has-p" (Haswell-EP server, 24 threads). Default "has-c".
+	Machine string
+	// HTMVariant selects the HTM implementation: "rtm"/"hle" on Haswell,
+	// "short"/"long" on BG/Q. Empty selects the machine default.
+	HTMVariant string
+	// Nodes and Threads shape the machine (defaults 1 and the machine's
+	// hardware thread count).
+	Nodes   int
+	Threads int
+	// Mechanism isolates activities: HTM (default), Atomic, or Lock.
+	Mechanism Mechanism
+	// M is the coarsening factor: operators per transaction (default 16).
+	M int
+	// C is the coalescing factor: operators per inter-node message
+	// (default 64).
+	C int
+	// AutoM enables online selection of M (hill climb on throughput).
+	AutoM bool
+	// PredictM chooses M before the run by combining the §5.3
+	// performance model with graph sampling (§7 future work); it
+	// overrides M and composes with AutoM (prediction seeds the climb).
+	PredictM bool
+	// LowerSingle enables the §7 lowering pass: single-operator HTM
+	// activities whose footprint pattern-matches an atomic run through
+	// the operator's atomic implementation instead.
+	LowerSingle bool
+	// Seed fixes workload and simulator randomness (default 1).
+	Seed int64
+}
+
+func (c Config) resolve() (exec.MachineProfile, Config, error) {
+	if c.Backend == "" {
+		c.Backend = run.Sim
+	}
+	if c.Machine == "" {
+		c.Machine = "has-c"
+	}
+	prof, err := exec.ProfileByName(c.Machine)
+	if err != nil {
+		return prof, c, err
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = prof.MaxThreads
+	}
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.C <= 0 {
+		c.C = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return prof, c, nil
+}
+
+// predictM applies the sampling-based M prediction for graph g when
+// requested.
+func (c Config) predictM(g *Graph, prof *exec.MachineProfile) Config {
+	if c.PredictM && c.Mechanism == aam.MechHTM {
+		c.M = aam.PredictM(g, prof, c.HTMVariant, c.Threads, c.Seed)
+	}
+	return c
+}
+
+func (c Config) engine(prof *exec.MachineProfile) aam.Config {
+	var variant *exec.HTMProfile
+	if c.Mechanism == aam.MechHTM {
+		variant = prof.HTMVariant(c.HTMVariant)
+	}
+	return aam.Config{
+		M:           c.M,
+		C:           c.C,
+		Mechanism:   c.Mechanism,
+		HTM:         variant,
+		AutoM:       c.AutoM,
+		LowerSingle: c.LowerSingle,
+	}
+}
+
+// Stats aggregates the machine-wide execution counters of one run.
+type Stats = stats.Total
+
+// RunInfo reports one algorithm execution.
+type RunInfo struct {
+	// Elapsed is virtual time on the sim backend and wall time on the
+	// native backend.
+	Elapsed time.Duration
+	Stats   Stats
+}
+
+func info(res exec.Result) RunInfo {
+	return RunInfo{Elapsed: time.Duration(res.Elapsed), Stats: res.Stats}
+}
+
+// BFSResult carries the BFS tree: Parents[v] is the parent of v (source's
+// parent is itself), or -1 when v is unreachable.
+type BFSResult struct {
+	Parents []int64
+	RunInfo
+}
+
+// BFS runs the AAM breadth-first search from src.
+func BFS(g *Graph, src int, c Config) (BFSResult, error) {
+	prof, c, err := c.resolve()
+	if err != nil {
+		return BFSResult{}, err
+	}
+	if src < 0 || src >= g.N {
+		return BFSResult{}, fmt.Errorf("aamgo: BFS source %d out of range [0,%d)", src, g.N)
+	}
+	c = c.predictM(g, &prof)
+	b := algo.NewBFS(g, c.Nodes, algo.BFSConfig{
+		Mode:         algo.BFSAAM,
+		Engine:       c.engine(&prof),
+		VisitedCheck: true,
+	})
+	m := run.New(c.Backend, exec.Config{
+		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
+		MemWords: b.MemWords(), Profile: &prof,
+		Handlers: b.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(b.Body(src))
+	return BFSResult{Parents: b.Parents(m), RunInfo: info(res)}, nil
+}
+
+// PageRank runs the AAM vertex-centric push PageRank and returns the rank
+// vector (summing to ≈1).
+func PageRank(g *Graph, damping float64, iterations int, c Config) ([]float64, RunInfo, error) {
+	prof, c, err := c.resolve()
+	if err != nil {
+		return nil, RunInfo{}, err
+	}
+	c = c.predictM(g, &prof)
+	p := algo.NewPageRank(g, c.Nodes, algo.PRConfig{
+		Damping: damping, Iterations: iterations, Engine: c.engine(&prof),
+	})
+	m := run.New(c.Backend, exec.Config{
+		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
+		MemWords: p.MemWords(), Profile: &prof,
+		Handlers: p.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(p.Body())
+	return p.Ranks(m), info(res), nil
+}
+
+// SymmetricWeight returns a deterministic symmetric edge-weight function
+// for Builder.WithWeights, as required by MST and SSSP.
+var SymmetricWeight = graph.SymmetricWeight
+
+// MST runs the AAM Boruvka minimum-spanning-forest algorithm and returns
+// the total forest weight and per-vertex component labels. The graph must
+// carry edge weights (Builder.WithWeights).
+func MST(g *Graph, c Config) (weight uint64, components []int32, ri RunInfo, err error) {
+	if g.Weights == nil {
+		return 0, nil, RunInfo{}, fmt.Errorf("aamgo: MST needs edge weights (use Builder.WithWeights)")
+	}
+	prof, c, err := c.resolve()
+	if err != nil {
+		return 0, nil, RunInfo{}, err
+	}
+	b := algo.NewBoruvka(g)
+	m := run.New(c.Backend, exec.Config{
+		Nodes: 1, ThreadsPerNode: c.Threads,
+		MemWords: b.MemWords(), Profile: &prof,
+		Handlers: b.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(b.Body(c.engine(&prof)))
+	return b.Weight(m), b.Components(m), info(res), nil
+}
+
+// Coloring runs Boman et al.'s distributed coloring heuristic and returns
+// the per-vertex colors (0-based) and the number of colors used.
+func Coloring(g *Graph, c Config) ([]int32, int, RunInfo, error) {
+	prof, c, err := c.resolve()
+	if err != nil {
+		return nil, 0, RunInfo{}, err
+	}
+	col := algo.NewColoring(g)
+	m := run.New(c.Backend, exec.Config{
+		Nodes: 1, ThreadsPerNode: c.Threads,
+		MemWords: col.MemWords(), Profile: &prof,
+		Handlers: col.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(col.Body(c.engine(&prof), 0))
+	colors, used := col.Colors(m)
+	return colors, used, info(res), nil
+}
+
+// SSSP runs chaotic-relaxation single-source shortest paths over the
+// graph's edge weights and returns the distance vector (MaxUint64 for
+// unreachable vertices).
+func SSSP(g *Graph, src int, c Config) ([]uint64, RunInfo, error) {
+	if g.Weights == nil {
+		return nil, RunInfo{}, fmt.Errorf("aamgo: SSSP needs edge weights (use Builder.WithWeights)")
+	}
+	prof, c, err := c.resolve()
+	if err != nil {
+		return nil, RunInfo{}, err
+	}
+	if src < 0 || src >= g.N {
+		return nil, RunInfo{}, fmt.Errorf("aamgo: SSSP source %d out of range [0,%d)", src, g.N)
+	}
+	c = c.predictM(g, &prof)
+	s := algo.NewSSSP(g, c.Nodes)
+	m := run.New(c.Backend, exec.Config{
+		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
+		MemWords: s.MemWords(), Profile: &prof,
+		Handlers: s.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(s.Body(src, c.engine(&prof)))
+	return s.Dists(m), info(res), nil
+}
+
+// MaxFlow computes the maximum s→t flow over the graph's edge weights
+// (capacities), running each Edmonds-Karp augmenting-path search as a
+// parallel AAM BFS over the residual network — the Ford-Fulkerson family
+// the paper names BFS a proxy for (§6). Single node; Config.Nodes is
+// ignored.
+func MaxFlow(g *Graph, s, t int, c Config) (uint64, RunInfo, error) {
+	if g.Weights == nil {
+		return 0, RunInfo{}, fmt.Errorf("aamgo: MaxFlow needs edge weights (use Builder.WithWeights)")
+	}
+	prof, c, err := c.resolve()
+	if err != nil {
+		return 0, RunInfo{}, err
+	}
+	if s < 0 || s >= g.N || t < 0 || t >= g.N || s == t {
+		return 0, RunInfo{}, fmt.Errorf("aamgo: MaxFlow endpoints %d,%d invalid for %d vertices", s, t, g.N)
+	}
+	c = c.predictM(g, &prof)
+	f := algo.NewMaxFlow(g)
+	m := run.New(c.Backend, exec.Config{
+		Nodes: 1, ThreadsPerNode: c.Threads,
+		MemWords: f.MemWords(), Profile: &prof,
+		Handlers: f.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(f.Body(s, t, c.engine(&prof)))
+	return f.Value(m), info(res), nil
+}
+
+// Connected reports whether s and t are connected, using the paper's
+// FR&AS two-color concurrent search (§3.3.4).
+func Connected(g *Graph, s, t int, c Config) (bool, RunInfo, error) {
+	prof, c, err := c.resolve()
+	if err != nil {
+		return false, RunInfo{}, err
+	}
+	st := algo.NewSTConn(g, c.Nodes)
+	m := run.New(c.Backend, exec.Config{
+		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
+		MemWords: st.MemWords(), Profile: &prof,
+		Handlers: st.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(st.Body(s, t, c.engine(&prof)))
+	return st.Connected(m), info(res), nil
+}
+
+// Components labels connected components and returns the per-vertex label
+// vector (labels are representative vertex ids).
+func Components(g *Graph, c Config) ([]int32, RunInfo, error) {
+	prof, c, err := c.resolve()
+	if err != nil {
+		return nil, RunInfo{}, err
+	}
+	cc := algo.NewCC(g, c.Nodes)
+	m := run.New(c.Backend, exec.Config{
+		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
+		MemWords: cc.MemWords(), Profile: &prof,
+		Handlers: cc.Handlers(nil), Seed: c.Seed,
+	})
+	res := m.Run(cc.Body(c.engine(&prof)))
+	return cc.Labels(m), info(res), nil
+}
+
+// Low-level re-exports for building custom operators on the AAM runtime;
+// see the examples directory for usage.
+type (
+	// Runtime owns the operator registry and message handlers.
+	Runtime = aam.Runtime
+	// Engine is the per-thread spawner/executor.
+	Engine = aam.Engine
+	// Op describes one operator (§3.2 taxonomy flags included).
+	Op = aam.Op
+	// EngineConfig tunes an Engine (M, C, mechanism, partition).
+	EngineConfig = aam.Config
+	// Context is the per-thread machine handle available to operators.
+	Context = exec.Context
+	// Tx is the transactional memory view inside an activity.
+	Tx = exec.Tx
+	// Machine is a constructed machine instance.
+	Machine = exec.Machine
+	// MachineConfig configures a raw machine.
+	MachineConfig = exec.Config
+	// MachineProfile is the per-architecture cost model.
+	MachineProfile = exec.MachineProfile
+	// Partition maps global vertices to owner nodes.
+	Partition = graph.Partition
+)
+
+// Distributed-transaction support (§4.3's ownership protocol): activities
+// implemented as local hardware transactions that migrate remote graph
+// elements first.
+type (
+	// Ownership runs the §4.3 protocol over one machine.
+	Ownership = aam.Ownership
+	// OwnershipLayout fixes the marker/data/mailbox memory regions.
+	OwnershipLayout = aam.OwnershipLayout
+	// GlobalRef names a remote element: owner node and element index.
+	GlobalRef = aam.GlobalRef
+	// DistTxResult reports one distributed transaction.
+	DistTxResult = aam.DistTxResult
+)
+
+// NewOwnership returns a protocol instance for the given layout.
+func NewOwnership(layout OwnershipLayout) *Ownership { return aam.NewOwnership(layout) }
+
+// NewRuntime returns an empty operator runtime.
+func NewRuntime() *Runtime { return aam.NewRuntime() }
+
+// NewEngine creates the per-thread engine inside a run body.
+func NewEngine(rt *Runtime, ctx Context, cfg EngineConfig) *Engine {
+	return aam.NewEngine(rt, ctx, cfg)
+}
+
+// NewPartition builds a 1-D block partition of n vertices over nodes.
+func NewPartition(n, nodes int) Partition { return graph.NewPartition(n, nodes) }
+
+// NewMachine constructs a machine of the given backend ("sim"/"native").
+func NewMachine(backend string, cfg MachineConfig) Machine { return run.New(backend, cfg) }
+
+// ProfileByName resolves "has-c", "has-p" or "bgq".
+func ProfileByName(name string) (MachineProfile, error) { return exec.ProfileByName(name) }
+
+// Elapsed converts the simulator's virtual time to a time.Duration.
+func Elapsed(t vtime.Time) time.Duration { return time.Duration(t) }

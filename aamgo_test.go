@@ -1,0 +1,348 @@
+package aamgo_test
+
+import (
+	"math"
+	"testing"
+
+	"aamgo"
+)
+
+func kron(t *testing.T) *aamgo.Graph {
+	t.Helper()
+	return aamgo.Kronecker(9, 8, 7)
+}
+
+func maxDeg(g *aamgo.Graph) int {
+	best, bd := 0, -1
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func TestBFSFacade(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+	res, err := aamgo.BFS(g, src, aamgo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parents[src] != int64(src) {
+		t.Fatalf("source parent = %d", res.Parents[src])
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time reported")
+	}
+	visited := 0
+	for _, p := range res.Parents {
+		if p >= 0 {
+			visited++
+		}
+	}
+	if visited < g.N/4 {
+		t.Fatalf("only %d of %d vertices visited from max-degree source", visited, g.N)
+	}
+}
+
+func TestBFSFacadeRejectsBadSource(t *testing.T) {
+	g := kron(t)
+	if _, err := aamgo.BFS(g, -1, aamgo.Config{}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := aamgo.BFS(g, g.N, aamgo.Config{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := aamgo.BFS(g, 0, aamgo.Config{Machine: "cray"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestPageRankFacadeSumsToOne(t *testing.T) {
+	g := kron(t)
+	ranks, ri, err := aamgo.PageRank(g, 0.85, 5, aamgo.Config{Machine: "bgq", Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	// Push PR does not redistribute dangling mass, so the total is below
+	// one on graphs with isolated vertices, but must stay in (0, 1].
+	if sum <= 0.5 || sum > 1.001 {
+		t.Fatalf("ranks sum to %f", sum)
+	}
+	if ri.Stats.OpsExecuted == 0 {
+		t.Fatal("no operators executed")
+	}
+}
+
+func TestMechanismsAgree(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+	base, err := aamgo.BFS(g, src, aamgo.Config{Mechanism: aamgo.HTM, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countVisited := func(ps []int64) int {
+		n := 0
+		for _, p := range ps {
+			if p >= 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for _, mech := range []aamgo.Mechanism{aamgo.Atomic, aamgo.Lock} {
+		r, err := aamgo.BFS(g, src, aamgo.Config{Mechanism: mech, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countVisited(r.Parents) != countVisited(base.Parents) {
+			t.Fatalf("%v visits %d vertices, HTM visits %d",
+				mech, countVisited(r.Parents), countVisited(base.Parents))
+		}
+	}
+}
+
+func TestMSTFacade(t *testing.T) {
+	b := aamgo.NewBuilder(5).WithWeights(aamgo.SymmetricWeight(11))
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(0, 4)
+	g := b.Build()
+	w, comps, _, err := aamgo.MST(g, aamgo.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == 0 {
+		t.Fatal("zero MST weight on a weighted cycle")
+	}
+	root := comps[0]
+	for v, c := range comps {
+		if c != root {
+			t.Fatalf("vertex %d in component %d, want %d", v, c, root)
+		}
+	}
+}
+
+func TestColoringFacadeIsProper(t *testing.T) {
+	g := kron(t)
+	colors, used, _, err := aamgo.Coloring(g, aamgo.Config{Threads: 4, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used <= 0 {
+		t.Fatal("no colors used")
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) != v && colors[v] == colors[w] {
+				t.Fatalf("edge %d-%d monochromatic (%d)", v, w, colors[v])
+			}
+		}
+	}
+}
+
+func TestConnectedFacade(t *testing.T) {
+	b := aamgo.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4) // 3-4-5 is a separate component
+	b.AddEdge(4, 5)
+	g := b.Build()
+	ok, _, err := aamgo.Connected(g, 0, 2, aamgo.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("0 and 2 must be connected")
+	}
+	ok, _, err = aamgo.Connected(g, 0, 5, aamgo.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("0 and 5 must not be connected")
+	}
+}
+
+func TestComponentsFacade(t *testing.T) {
+	b := aamgo.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build() // components: {0,1,2}, {3,4}, {5}, {6}
+	labels, _, err := aamgo.Components(g, aamgo.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("component {3,4} split")
+	}
+	if labels[0] == labels[3] || labels[5] == labels[6] || labels[0] == labels[5] {
+		t.Fatal("separate components merged")
+	}
+}
+
+func TestSSSPFacade(t *testing.T) {
+	kg := kron(t)
+	b := aamgo.NewBuilder(kg.N).WithWeights(aamgo.SymmetricWeight(5))
+	for u := 0; u < kg.N; u++ {
+		for _, w := range kg.Neighbors(u) {
+			if int32(u) < w {
+				b.AddEdge(int32(u), w)
+			}
+		}
+	}
+	g := b.Build()
+	src := maxDeg(g)
+	dists, _, err := aamgo.SSSP(g, src, aamgo.Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[src] != 0 {
+		t.Fatalf("source distance = %d", dists[src])
+	}
+	for _, w := range g.Neighbors(src) {
+		if dists[w] == math.MaxUint64 {
+			t.Fatalf("direct neighbor %d unreachable", w)
+		}
+	}
+	// An unweighted graph must be rejected.
+	if _, _, err := aamgo.SSSP(kg, src, aamgo.Config{}); err == nil {
+		t.Fatal("unweighted SSSP accepted")
+	}
+}
+
+func TestNativeBackendFacade(t *testing.T) {
+	g := aamgo.Kronecker(8, 6, 5)
+	src := maxDeg(g)
+	res, err := aamgo.BFS(g, src, aamgo.Config{Backend: "native", Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := aamgo.BFS(g, src, aamgo.Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(ps []int64) int {
+		n := 0
+		for _, p := range ps {
+			if p >= 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if count(res.Parents) != count(simRes.Parents) {
+		t.Fatalf("native visits %d, sim visits %d", count(res.Parents), count(simRes.Parents))
+	}
+}
+
+func TestAutoMFacade(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+	res, err := aamgo.BFS(g, src, aamgo.Config{Machine: "bgq", AutoM: true, M: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TxStarted == 0 {
+		t.Fatal("AutoM run executed no transactions")
+	}
+}
+
+func TestMaxFlowFacade(t *testing.T) {
+	kg := kron(t)
+	b := aamgo.NewBuilder(kg.N).WithWeights(aamgo.SymmetricWeight(8))
+	for u := 0; u < kg.N; u++ {
+		for _, w := range kg.Neighbors(u) {
+			if int32(u) < w {
+				b.AddEdge(int32(u), w)
+			}
+		}
+	}
+	g := b.Build()
+	s := maxDeg(g)
+	dst := (s + g.N/2) % g.N
+	if dst == s {
+		dst = (s + 1) % g.N
+	}
+	flow, ri, err := aamgo.MaxFlow(g, s, dst, aamgo.Config{Threads: 4, M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Stats.OpsExecuted == 0 {
+		t.Fatal("max flow executed no operators")
+	}
+	// Flow is bounded by the endpoint degrees' capacity sums.
+	capSum := func(v int) uint64 {
+		var s uint64
+		for _, w := range g.EdgeWeights(v) {
+			s += uint64(w)
+		}
+		return s
+	}
+	if flow > capSum(s) || flow > capSum(dst) {
+		t.Fatalf("flow %d exceeds an endpoint cut (%d / %d)", flow, capSum(s), capSum(dst))
+	}
+	// Rejections: unweighted graph, bad endpoints.
+	if _, _, err := aamgo.MaxFlow(kg, s, dst, aamgo.Config{}); err == nil {
+		t.Fatal("unweighted MaxFlow accepted")
+	}
+	if _, _, err := aamgo.MaxFlow(g, s, s, aamgo.Config{}); err == nil {
+		t.Fatal("s == t accepted")
+	}
+}
+
+func TestExtensionMechanismFacades(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+	ref, err := aamgo.BFS(g, src, aamgo.Config{Threads: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(ps []int64) int {
+		n := 0
+		for _, p := range ps {
+			if p >= 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for _, mech := range []aamgo.Mechanism{aamgo.Optimistic, aamgo.FlatCombining} {
+		res, err := aamgo.BFS(g, src, aamgo.Config{Threads: 4, Mechanism: mech, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count(res.Parents) != count(ref.Parents) {
+			t.Fatalf("mechanism %v visits %d, HTM visits %d",
+				mech, count(res.Parents), count(ref.Parents))
+		}
+	}
+}
+
+func TestLowerSingleFacade(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+	res, err := aamgo.BFS(g, src, aamgo.Config{Threads: 4, M: 1, LowerSingle: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BFS mark operator's footprint is multi-word (parent + frontier
+	// push), so the pass must analyze and then decline to lower it.
+	if res.Stats.LoweredOps != 0 {
+		t.Fatalf("BFS mark lowered %d times; its footprint is multi-word", res.Stats.LoweredOps)
+	}
+}

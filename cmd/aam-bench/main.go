@@ -1,0 +1,73 @@
+// Command aam-bench regenerates the tables and figures of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	aam-bench -list
+//	aam-bench -run fig4-bgq [-scale 2] [-csv out/]
+//	aam-bench -all [-scale 0]
+//
+// Each experiment prints its data tables, free-form notes, and the shape
+// checks that encode the paper's qualitative findings. -scale adds powers
+// of two to the reduced default problem sizes (≈7 reaches the paper's).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aamgo/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		runID = flag.String("run", "", "run one experiment by id")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Int("scale", 0, "problem-size shift added to reduced defaults")
+		csv   = flag.String("csv", "", "directory for per-table CSV dumps")
+		seed  = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+			fmt.Printf("%22s %s\n", "", e.Paper)
+		}
+		return
+
+	case *runID != "":
+		runOne(*runID, bench.Options{Scale: *scale, Out: os.Stdout, CSVDir: *csv, Seed: *seed})
+
+	case *all:
+		failures := 0
+		for _, e := range bench.Experiments() {
+			failures += runOne(e.ID, bench.Options{Scale: *scale, Out: os.Stdout, CSVDir: *csv, Seed: *seed})
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "aam-bench: %d shape checks failed\n", failures)
+			os.Exit(1)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, o bench.Options) int {
+	t0 := time.Now()
+	rep, err := bench.RunOne(id, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aam-bench:", err)
+		os.Exit(1)
+	}
+	failed := rep.FailedChecks()
+	fmt.Printf("(%s finished in %v; %d/%d shape checks passed)\n\n",
+		id, time.Since(t0).Round(time.Millisecond), len(rep.Checks)-len(failed), len(rep.Checks))
+	return len(failed)
+}

@@ -1,0 +1,151 @@
+// Social-network analytics: build a community-structured graph (a proxy
+// for the paper's SNAP social networks, Table 1), then run the typical
+// analyst pipeline — connected components, BFS distances from the most
+// popular member, PageRank influencers, and a proper coloring for
+// conflict-free scheduling — all through the AAM runtime.
+//
+// Run with: go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"aamgo"
+)
+
+func main() {
+	// 16k members in communities of 64, ~12 friends each, 5% of edges
+	// crossing communities.
+	g := aamgo.Community(16384, 64, 12, 0.05, 2024)
+	fmt.Printf("social graph: %d members, %d friendships, d̄=%.1f\n",
+		g.N, g.NumEdges()/2, g.AvgDegree())
+
+	cfg := aamgo.Config{Machine: "has-c", M: 8, Seed: 5}
+
+	// 1. Connected components: how fragmented is the network?
+	labels, _, err := aamgo.Components(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := map[int32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	giant := 0
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	fmt.Printf("components: %d total, giant component %d members (%.1f%%)\n",
+		len(sizes), giant, 100*float64(giant)/float64(g.N))
+
+	// 2. BFS from the most connected member: the friendship horizon.
+	hub := 0
+	for v, best := 0, -1; v < g.N; v++ {
+		if d := g.Degree(v); d > best {
+			hub, best = v, d
+		}
+	}
+	bfs, err := aamgo.BFS(g, hub, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	depth := bfsDepths(g, hub, bfs.Parents)
+	fmt.Printf("bfs from hub %d (degree %d): reached %d members, max distance %d (%v)\n",
+		hub, g.Degree(hub), reached(bfs.Parents), maxDepth(depth), bfs.Elapsed)
+
+	// 3. PageRank: the influencers.
+	ranks, ri, err := aamgo.PageRank(g, 0.85, 15, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type member struct {
+		id   int
+		rank float64
+	}
+	top := make([]member, g.N)
+	for v, r := range ranks {
+		top[v] = member{v, r}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].rank > top[j].rank })
+	fmt.Printf("pagerank (%v): top influencers:\n", ri.Elapsed)
+	for _, m := range top[:5] {
+		fmt.Printf("  member %5d  rank %.6f  degree %d\n", m.id, m.rank, g.Degree(m.id))
+	}
+
+	// 4. Coloring: schedule members into conflict-free rounds (no two
+	// friends in the same round) with Boman et al.'s heuristic.
+	colors, used, _, err := aamgo.Coloring(g, aamgo.Config{Machine: "has-c", M: 4, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perRound := map[int32]int{}
+	for _, c := range colors {
+		perRound[c]++
+	}
+	fmt.Printf("coloring: %d rounds, largest round %d members\n", used, maxCount(perRound))
+}
+
+func reached(parents []int64) int {
+	n := 0
+	for _, p := range parents {
+		if p >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func bfsDepths(g *aamgo.Graph, src int, parents []int64) []int {
+	depth := make([]int, len(parents))
+	for v := range depth {
+		depth[v] = -1
+	}
+	depth[src] = 0
+	// Parents form a tree; walk each vertex up to the root.
+	var walk func(v int) int
+	walk = func(v int) int {
+		if depth[v] >= 0 {
+			return depth[v]
+		}
+		p := parents[v]
+		if p < 0 {
+			return -1
+		}
+		d := walk(int(p))
+		if d < 0 {
+			return -1
+		}
+		depth[v] = d + 1
+		return depth[v]
+	}
+	for v := range depth {
+		if parents[v] >= 0 {
+			walk(v)
+		}
+	}
+	return depth
+}
+
+func maxDepth(depth []int) int {
+	m := 0
+	for _, d := range depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxCount(m map[int32]int) int {
+	best := 0
+	for _, c := range m {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

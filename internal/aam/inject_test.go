@@ -1,0 +1,162 @@
+package aam_test
+
+import (
+	"testing"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/sim"
+)
+
+// Failure-injection tests: the engine must stay correct when the HTM
+// misbehaves — spurious aborts on every other attempt, capacity aborts
+// from oversized activities, and the serialization fallback path.
+
+func injectMachine(w *countingWorkload, prof exec.MachineProfile, threads int) exec.Machine {
+	return sim.New(exec.Config{
+		Nodes: 1, ThreadsPerNode: threads, MemWords: 1 << 14,
+		Profile: &prof, Handlers: w.rt.Handlers(nil), Seed: 31,
+	})
+}
+
+func TestEngineSurvivesSpuriousAbortStorm(t *testing.T) {
+	// 30% spurious aborts per attempt: work completes, sums stay exact,
+	// and the storm is visible in the abort counters.
+	prof := exec.HaswellC()
+	for i := range prof.HTM {
+		prof.HTM[i].OtherAbortProb = 0.3
+	}
+	w := newCounting()
+	m := injectMachine(w, prof, 4)
+	res := m.Run(func(ctx exec.Context) {
+		eng := aam.NewEngine(w.rt, ctx, aam.Config{
+			M: 8, Mechanism: aam.MechHTM,
+			Part: graph.NewPartition(1<<10, 1),
+		})
+		for i := 0; i < 200; i++ {
+			eng.Spawn(w.op, i%97, 1)
+		}
+		eng.Drain()
+	})
+	sum := uint64(0)
+	for i := 0; i < 97; i++ {
+		sum += m.Mem(0)[i]
+	}
+	if sum != 800 {
+		t.Fatalf("sum under abort storm = %d, want 800", sum)
+	}
+	if res.Stats.TotalAborts() == 0 {
+		t.Fatal("injection produced no aborts")
+	}
+	if res.Stats.Retries == 0 && res.Stats.TxSerialized == 0 {
+		t.Fatal("aborts neither retried nor serialized")
+	}
+}
+
+func TestEngineCapacityOverflowSerializes(t *testing.T) {
+	// Activities touching ~750 distinct cache lines (6000 contiguous
+	// words) overflow Haswell's 512-line L1 write buffer: every activity
+	// must fall back to serialized execution and still apply exactly
+	// once.
+	prof := exec.HaswellC()
+	w := newCounting()
+	m := injectMachine(w, prof, 2)
+	res := m.Run(func(ctx exec.Context) {
+		eng := aam.NewEngine(w.rt, ctx, aam.Config{
+			M: 6000, Mechanism: aam.MechHTM,
+			Part: graph.NewPartition(1<<14, 1),
+		})
+		for i := 0; i < 6000; i++ {
+			eng.Spawn(w.op, (ctx.GlobalID()*6000+i)%12000, 1)
+		}
+		eng.Drain()
+	})
+	sum := uint64(0)
+	for i := 0; i < 12000; i++ {
+		sum += m.Mem(0)[i]
+	}
+	if sum != 12000 {
+		t.Fatalf("sum = %d, want 12000", sum)
+	}
+	if res.Stats.Aborts[1] == 0 { // stats.AbortCapacity
+		t.Fatal("no capacity aborts for 3000-line activities")
+	}
+	if res.Stats.TxSerialized == 0 {
+		t.Fatal("oversized activities never serialized")
+	}
+}
+
+func TestHLESerializesAfterFirstAbort(t *testing.T) {
+	// Under HLE (SerializeAfterFirst) with injected aborts, every abort
+	// leads straight to serialization — no retries.
+	prof := exec.HaswellC()
+	hle := prof.HTMVariant("hle")
+	if hle == nil {
+		t.Fatal("no HLE variant on Haswell profile")
+	}
+	variant := *hle
+	variant.OtherAbortProb = 0.5
+	w := newCounting()
+	m := injectMachine(w, prof, 4)
+	res := m.Run(func(ctx exec.Context) {
+		eng := aam.NewEngine(w.rt, ctx, aam.Config{
+			M: 4, Mechanism: aam.MechHTM, HTM: &variant,
+			Part: graph.NewPartition(1<<10, 1),
+		})
+		for i := 0; i < 100; i++ {
+			eng.Spawn(w.op, i%11, 1)
+		}
+		eng.Drain()
+	})
+	sum := uint64(0)
+	for i := 0; i < 11; i++ {
+		sum += m.Mem(0)[i]
+	}
+	if sum != 400 {
+		t.Fatalf("sum = %d, want 400", sum)
+	}
+	if res.Stats.TxSerialized == 0 {
+		t.Fatal("HLE with 50% aborts never serialized")
+	}
+	if res.Stats.Retries != 0 {
+		t.Fatalf("HLE retried %d times; must serialize after first abort", res.Stats.Retries)
+	}
+}
+
+func TestOwnershipWritebackInFlightRegression(t *testing.T) {
+	// Regression for a lost-update race: a process re-acquiring an element
+	// whose previous writeback is still in flight must NOT be handed the
+	// stale value. One thread performing back-to-back increments on the
+	// same remote element is the minimal trigger.
+	layout := aam.OwnershipLayout{MarkerBase: 0, DataBase: 1 << 9, MailboxBase: 1 << 10}
+	o := aam.NewOwnership(layout)
+	prof := exec.BGQ()
+	m := sim.New(exec.Config{
+		Nodes: 2, ThreadsPerNode: 1, MemWords: 1 << 11,
+		Profile: &prof, Seed: 77, Handlers: o.Handlers(nil),
+	})
+	const per = 50
+	m.Run(func(ctx exec.Context) {
+		if ctx.NodeID() == 0 {
+			for ctx.Load((1<<9)+5) < per {
+				if ctx.Poll() == 0 {
+					ctx.Compute(200)
+				}
+			}
+			return
+		}
+		for i := 0; i < per; i++ {
+			res := o.RunDistTx(ctx, nil, []aam.GlobalRef{{Node: 0, Index: 5}}, nil,
+				func(tx exec.Tx, localData []int, remoteVals []uint64) []uint64 {
+					return []uint64{remoteVals[0] + 1}
+				})
+			if !res.Committed {
+				t.Errorf("increment %d failed: %+v", i, res)
+			}
+		}
+	})
+	if got := m.Mem(0)[(1<<9)+5]; got != per {
+		t.Fatalf("back-to-back increments = %d, want %d (stale writeback race)", got, per)
+	}
+}

@@ -1,0 +1,281 @@
+package aam
+
+import (
+	"fmt"
+
+	"aamgo/internal/exec"
+	"aamgo/internal/vtime"
+)
+
+// This file implements the ownership protocol of §4.3: a hardware
+// transaction cannot span nodes (it could not roll back remote effects),
+// so an activity touching remote graph elements first migrates them. Every
+// element carries an ownership marker, initially ⊥ (0). The acquiring
+// process CASes the marker to its tag; on success the element's data is
+// transferred and the transaction runs locally over local elements plus the
+// migrated copies. On any acquisition failure all previously acquired
+// elements are released and the handler backs off for a random time (the
+// backoff is what prevents livelock, §5.7). After the transaction commits,
+// migrated elements are written back and their markers reset to ⊥.
+//
+// Local elements participate through their markers too: the transaction
+// reads the marker of every local element and aborts explicitly if some
+// remote process holds it.
+
+// GlobalRef names one graph element: the owner node and the element index
+// within the owner's element arrays.
+type GlobalRef struct {
+	Node  int
+	Index int
+}
+
+// OwnershipLayout fixes the node-memory regions the protocol uses. The
+// same layout must hold on every node.
+type OwnershipLayout struct {
+	MarkerBase int // one marker word per local element
+	DataBase   int // one data word per local element
+	// MailboxBase is a per-thread two-word reply mailbox region:
+	// [status, value] per local thread.
+	MailboxBase int
+}
+
+func (l OwnershipLayout) marker(i int) int    { return l.MarkerBase + i }
+func (l OwnershipLayout) data(i int) int      { return l.DataBase + i }
+func (l OwnershipLayout) mailbox(lid int) int { return l.MailboxBase + 2*lid }
+
+const (
+	mailboxEmpty = 0
+	mailboxOK    = 1
+	mailboxFail  = 2
+)
+
+// Ownership runs the distributed-transaction protocol over one machine.
+// Create it before the machine, splice Handlers into the config, then call
+// RunDistTx from run bodies.
+type Ownership struct {
+	layout   OwnershipLayout
+	acquireH int
+	releaseH int
+	writeH   int
+	replyH   int
+}
+
+// NewOwnership returns a protocol instance for the given layout.
+func NewOwnership(layout OwnershipLayout) *Ownership {
+	return &Ownership{layout: layout, acquireH: -1}
+}
+
+// Handlers appends the protocol's four handlers to existing.
+func (o *Ownership) Handlers(existing []exec.HandlerFunc) []exec.HandlerFunc {
+	o.acquireH = len(existing)
+	o.releaseH = o.acquireH + 1
+	o.writeH = o.acquireH + 2
+	o.replyH = o.acquireH + 3
+	return append(existing,
+		func(ctx exec.Context, src int, p []uint64) { o.handleAcquire(ctx, src, p) },
+		func(ctx exec.Context, src int, p []uint64) { o.handleRelease(ctx, src, p) },
+		func(ctx exec.Context, src int, p []uint64) { o.handleWriteback(ctx, src, p) },
+		func(ctx exec.Context, src int, p []uint64) { o.handleReply(ctx, src, p) },
+	)
+}
+
+// tag encodes the acquiring thread: node*T + lid + 1 (0 is ⊥).
+func ownTag(ctx exec.Context) uint64 {
+	return uint64(ctx.NodeID()*ctx.ThreadsPerNode()+ctx.LocalID()) + 1
+}
+
+// handleAcquire: [index, requesterLid]. CAS the marker; reply with the data
+// value on success. Observing one's own tag is NOT treated as success:
+// duplicate references within one transaction are deduplicated by
+// RunDistTx, so a same-tag marker can only mean the requester's previous
+// transaction released this element with a writeback that is still in
+// flight — handing out the data now would return a stale value and lose
+// that update. The requester backs off and retries once the writeback has
+// landed.
+func (o *Ownership) handleAcquire(ctx exec.Context, src int, p []uint64) {
+	idx, reqLid := int(p[0]), p[1]
+	tag := uint64(src)*uint64(ctx.ThreadsPerNode()) + reqLid + 1
+	ctx.Stats().OwnershipCAS++
+	if ctx.CAS(o.layout.marker(idx), 0, tag) {
+		val := ctx.Load(o.layout.data(idx))
+		ctx.Send(src, o.replyH, []uint64{reqLid, mailboxOK, val})
+		return
+	}
+	ctx.Stats().OwnershipFail++
+	ctx.Send(src, o.replyH, []uint64{reqLid, mailboxFail, 0})
+}
+
+// handleRelease: [index, tag]. Reset the marker iff still held by tag.
+func (o *Ownership) handleRelease(ctx exec.Context, src int, p []uint64) {
+	idx, tag := int(p[0]), p[1]
+	ctx.CAS(o.layout.marker(idx), tag, 0)
+}
+
+// handleWriteback: [index, value]. Store the migrated element back and
+// reset its marker.
+func (o *Ownership) handleWriteback(ctx exec.Context, src int, p []uint64) {
+	idx, val := int(p[0]), p[1]
+	ctx.Store(o.layout.data(idx), val)
+	ctx.Store(o.layout.marker(idx), 0)
+}
+
+// handleReply: [requesterLid, status, value] — deposit into the requester
+// thread's mailbox.
+func (o *Ownership) handleReply(ctx exec.Context, src int, p []uint64) {
+	lid := int(p[0])
+	mb := o.layout.mailbox(lid)
+	ctx.Store(mb+1, p[2])
+	ctx.Store(mb, p[1])
+}
+
+// awaitReply polls (advancing time) until this thread's mailbox fills,
+// then clears and returns it. Polling instead of blocking keeps the wait
+// correct when a sibling thread consumes the reply message and deposits it
+// here.
+func (o *Ownership) awaitReply(ctx exec.Context) (ok bool, val uint64) {
+	mb := o.layout.mailbox(ctx.LocalID())
+	for {
+		st := ctx.Load(mb)
+		if st != mailboxEmpty {
+			val = ctx.Load(mb + 1)
+			ctx.Store(mb, mailboxEmpty)
+			return st == mailboxOK, val
+		}
+		if ctx.Poll() == 0 {
+			ctx.Compute(200 * vtime.Nanosecond)
+		}
+	}
+}
+
+// DistTxResult reports one distributed transaction.
+type DistTxResult struct {
+	Committed    bool
+	AcquireFails int // failed remote acquisitions (each causes backoff)
+	LocalAborts  int // local retries due to marked local elements
+}
+
+// RunDistTx executes update atomically over the given local element
+// indices and remote references. update receives the transaction, the
+// local element data addresses, and the migrated remote values; it returns
+// the new values for the remote elements (nil keeps them unchanged).
+// htm selects the transaction profile (nil = machine default).
+func (o *Ownership) RunDistTx(ctx exec.Context, local []int, remote []GlobalRef, htm *exec.HTMProfile,
+	update func(tx exec.Tx, localData []int, remoteVals []uint64) []uint64) DistTxResult {
+
+	if o.acquireH < 0 {
+		panic("aam: Ownership.Handlers was not spliced into the machine config")
+	}
+	var res DistTxResult
+	tag := ownTag(ctx)
+
+	// Deduplicate remote references: acquiring one element twice within a
+	// transaction must not self-conflict. uniq maps each original slot to
+	// its unique ref; values are expanded back positionally for update.
+	type key struct{ node, index int }
+	slot := make([]int, len(remote))
+	var uniq []GlobalRef
+	seen := make(map[key]int, len(remote))
+	for i, r := range remote {
+		k := key{r.Node, r.Index}
+		if j, ok := seen[k]; ok {
+			slot[i] = j
+			continue
+		}
+		seen[k] = len(uniq)
+		slot[i] = len(uniq)
+		uniq = append(uniq, r)
+	}
+
+	remoteVals := make([]uint64, len(remote))
+	uniqVals := make([]uint64, len(uniq))
+	localData := make([]int, len(local))
+	for i, l := range local {
+		localData[i] = o.layout.data(l)
+	}
+
+	for attempt := 1; ; attempt++ {
+		// Phase 1: acquire every remote element, aborting the round on
+		// the first failure.
+		acquired := 0
+		failed := false
+		for i, r := range uniq {
+			if r.Node == ctx.NodeID() {
+				panic(fmt.Sprintf("aam: remote ref %v is local; pass it in local[]", r))
+			}
+			ctx.Send(r.Node, o.acquireH, []uint64{uint64(r.Index), uint64(ctx.LocalID())})
+			ok, val := o.awaitReply(ctx)
+			if !ok {
+				failed = true
+				res.AcquireFails++
+				break
+			}
+			uniqVals[i] = val
+			acquired = i + 1
+		}
+		if failed {
+			for i := 0; i < acquired; i++ {
+				ctx.Send(uniq[i].Node, o.releaseH, []uint64{uint64(uniq[i].Index), tag})
+			}
+			o.backoff(ctx, attempt)
+			continue
+		}
+		for i := range remote {
+			remoteVals[i] = uniqVals[slot[i]]
+		}
+
+		// Phase 2: the local hardware transaction. Local elements are
+		// guarded by their markers.
+		newVals := remoteVals
+		r := ctx.Tx(htm, func(tx exec.Tx) error {
+			for _, l := range local {
+				if tx.Read(o.layout.marker(l)) != 0 {
+					tx.Abort()
+				}
+			}
+			newVals = update(tx, localData, remoteVals)
+			return nil
+		})
+		if !r.Committed {
+			res.LocalAborts++
+			for i := range uniq {
+				ctx.Send(uniq[i].Node, o.releaseH, []uint64{uint64(uniq[i].Index), tag})
+			}
+			o.backoff(ctx, attempt)
+			continue
+		}
+
+		// Phase 3: write the migrated elements back and release. For
+		// duplicated references the last slot's value wins, matching the
+		// write order of a sequential update.
+		if newVals == nil {
+			newVals = remoteVals
+		}
+		for i := range remote {
+			uniqVals[slot[i]] = newVals[i]
+		}
+		for i, rr := range uniq {
+			ctx.Send(rr.Node, o.writeH, []uint64{uint64(rr.Index), uniqVals[i]})
+		}
+		res.Committed = true
+		return res
+	}
+}
+
+// backoff pauses for a jittered, exponentially growing time; without it
+// the protocol livelocks (§5.7).
+func (o *Ownership) backoff(ctx exec.Context, attempt int) {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := vtime.Time(1<<uint(shift)) * 500 * vtime.Nanosecond
+	d := base/2 + vtime.Time(ctx.Rand().Int63n(int64(base)))
+	// Keep draining the network while backing off so sibling requests
+	// are not starved.
+	deadline := ctx.Now() + d
+	for ctx.Now() < deadline {
+		if ctx.Poll() == 0 {
+			ctx.Compute(100 * vtime.Nanosecond)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package aam
+
+import (
+	"testing"
+
+	"aamgo/internal/exec"
+	"aamgo/internal/sim"
+)
+
+func ownershipSetup(nodes, threads int) (*Ownership, *sim.Machine, OwnershipLayout) {
+	layout := OwnershipLayout{
+		MarkerBase:  0,
+		DataBase:    1 << 10,
+		MailboxBase: 1 << 11,
+	}
+	o := NewOwnership(layout)
+	prof := exec.BGQ()
+	cfg := exec.Config{
+		Nodes:          nodes,
+		ThreadsPerNode: threads,
+		MemWords:       1 << 12,
+		Profile:        &prof,
+		Seed:           5,
+		Handlers:       o.Handlers(nil),
+	}
+	return o, sim.New(cfg), layout
+}
+
+func TestDistTxSingleRemoteIncrement(t *testing.T) {
+	o, m, layout := ownershipSetup(2, 1)
+	m.Run(func(ctx exec.Context) {
+		if ctx.NodeID() != 0 {
+			// Node 1 serves acquire/writeback requests until node 0
+			// signals completion via element 99.
+			for ctx.Load(layout.data(99)) == 0 {
+				if ctx.Poll() == 0 {
+					ctx.Compute(200)
+				}
+			}
+			return
+		}
+		res := o.RunDistTx(ctx, []int{0}, []GlobalRef{{Node: 1, Index: 7}}, nil,
+			func(tx exec.Tx, localData []int, remoteVals []uint64) []uint64 {
+				tx.Write(localData[0], tx.Read(localData[0])+1)
+				return []uint64{remoteVals[0] + 10}
+			})
+		if !res.Committed {
+			t.Errorf("dist tx did not commit: %+v", res)
+		}
+		// Signal the server to stop.
+		ctx.Send(1, 2 /* writeback handler */, []uint64{99, 1})
+	})
+	if got := m.Mem(0)[1<<10]; got != 1 {
+		t.Fatalf("local element = %d, want 1", got)
+	}
+	if got := m.Mem(1)[(1<<10)+7]; got != 10 {
+		t.Fatalf("remote element = %d, want 10", got)
+	}
+	if got := m.Mem(1)[7]; got != 0 {
+		t.Fatalf("marker not released: %d", got)
+	}
+}
+
+func TestDistTxContendedAtomicity(t *testing.T) {
+	// Threads on nodes 1..N-1 all increment the same element owned by
+	// node 0 through distributed transactions; every increment must
+	// survive (markers serialize them).
+	const N, T, per = 3, 2, 5
+	o, m, layout := ownershipSetup(N, T)
+	m.Run(func(ctx exec.Context) {
+		if ctx.NodeID() == 0 {
+			// Serve until all increments have arrived.
+			want := uint64((N - 1) * T * per)
+			for ctx.Load(layout.data(0)) < want {
+				if ctx.Poll() == 0 {
+					ctx.Compute(200)
+				}
+			}
+			return
+		}
+		for i := 0; i < per; i++ {
+			res := o.RunDistTx(ctx, nil, []GlobalRef{{Node: 0, Index: 0}}, nil,
+				func(tx exec.Tx, localData []int, remoteVals []uint64) []uint64 {
+					return []uint64{remoteVals[0] + 1}
+				})
+			if !res.Committed {
+				t.Errorf("dist tx failed: %+v", res)
+			}
+		}
+	})
+	want := uint64((N - 1) * T * per)
+	if got := m.Mem(0)[1<<10]; got != want {
+		t.Fatalf("contended remote counter = %d, want %d", got, want)
+	}
+}
+
+func TestDistTxLocalMarkerAbort(t *testing.T) {
+	// While another process holds an element's marker, a local
+	// transaction over that element must abort and retry; once the
+	// marker is released it commits. Thread 1 plays the remote holder.
+	o, m, layout := ownershipSetup(1, 2)
+	m.Run(func(ctx exec.Context) {
+		if ctx.LocalID() == 1 {
+			// Hold the marker for a while, then release.
+			ctx.Store(layout.marker(3), 42)
+			ctx.Barrier() // let thread 0 start its attempts
+			ctx.Compute(50_000)
+			ctx.Store(layout.marker(3), 0)
+			return
+		}
+		ctx.Barrier()
+		r := o.RunDistTx(ctx, []int{3}, nil, nil,
+			func(tx exec.Tx, localData []int, remoteVals []uint64) []uint64 {
+				tx.Write(localData[0], 5)
+				return nil
+			})
+		if !r.Committed {
+			t.Errorf("dist tx must eventually commit: %+v", r)
+		}
+		if r.LocalAborts == 0 {
+			t.Errorf("expected local marker aborts while held, got %+v", r)
+		}
+	})
+	if got := m.Mem(0)[(1<<10)+3]; got != 5 {
+		t.Fatalf("local element = %d, want 5", got)
+	}
+}

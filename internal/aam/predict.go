@@ -1,0 +1,109 @@
+package aam
+
+import (
+	"math"
+	"math/rand"
+
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/perfmodel"
+)
+
+// PredictM implements the paper's §7 proposal of combining the performance
+// model with graph sampling to choose the coarsening factor M offline,
+// before the first activity runs (complementing the purely reactive AutoM
+// hill climb):
+//
+//   - the §5.3 linear model supplies the per-activity cost of a coarse
+//     transaction, T(M) = B_HTM + A_HTM·M, from the HTM profile constants;
+//   - a degree sample of the graph estimates the collision pressure: the
+//     probability that a transaction of M vertex updates conflicts with
+//     one of the T-1 concurrently running transactions grows with
+//     M²·(T-1)·s/|V|, where s is the sampled degree skew (second over
+//     first moment squared) — hub-heavy graphs collide more;
+//   - expected cost per operator is then amortized overhead plus
+//     conflict-weighted abort/retry cost, minimized over the paper's
+//     sweep range M ∈ [1, 320].
+//
+// The prediction reproduces the paper's qualitative optima: large M on
+// BG/Q (expensive begin/commit amortized over a conflict-tolerant L2) and
+// tiny M on Haswell (cheap begin/commit, small capacity, costly aborts).
+func PredictM(g *graph.Graph, prof *exec.MachineProfile, variant string, T int, seed int64) int {
+	h := prof.HTMVariant(variant)
+	dbar, skew := sampleDegrees(g, 256, seed)
+	if dbar <= 0 {
+		return 1
+	}
+
+	// §5.3 linear model of one activity over M vertices. Each graph
+	// operator touches linesPerOp words (the updated vertex plus queue
+	// bookkeeping) and carries its intrinsic update work.
+	const linesPerOp = 3
+	aHTM := float64(h.PerAccessCost+prof.LoadCost)*linesPerOp + float64(prof.CASCost)
+	bHTM := float64(h.BeginCost + h.CommitCost)
+	htm := perfmodel.Linear{A: aHTM, B: bHTM}
+
+	// Conflict pressure: concurrent transactions hold (T-1)·M vertices of
+	// |V| during overlapping windows; skew concentrates updates on hubs.
+	// cWindow reflects that only a fraction of a transaction's lifetime
+	// overlaps a conflicting access (calibrated against Fig. 4's optima).
+	const cWindow = 0.01
+	n := float64(g.N)
+	abortCost := float64(h.AbortCost)
+	serializeCost := float64(h.SerializeCost)
+
+	// Capacity ceiling: activities whose write footprint exceeds the
+	// speculative buffer always abort, so M stays well below it.
+	capLines := h.WriteGeo.CapacityLines()
+	maxM := 320
+	if capLines > 0 && capLines/(2*linesPerOp) < maxM {
+		maxM = capLines / (2 * linesPerOp)
+	}
+	if maxM < 1 {
+		maxM = 1
+	}
+
+	bestM, bestCost := 1, math.Inf(1)
+	for m := 1; m <= maxM; m++ {
+		mf := float64(m)
+		work := htm.Eval(mf)
+		// A conflict abort redoes the whole activity once on average; an
+		// SMT/capacity abort additionally pays the serialization path.
+		pConf := 1 - math.Exp(-cWindow*mf*mf*float64(T-1)*skew/n)
+		pCap := 1 - math.Pow(1-h.SMTCapacityProb, linesPerOp*mf)
+		cost := (work*(1+pConf) + pConf*abortCost +
+			pCap*(abortCost+serializeCost+work)) / mf
+		if cost < bestCost {
+			bestM, bestCost = m, cost
+		}
+	}
+	return bestM
+}
+
+// sampleDegrees estimates the mean degree and the degree skew
+// E[d²]/E[d]² from k uniformly sampled vertices (§7's "graph sampling").
+func sampleDegrees(g *graph.Graph, k int, seed int64) (dbar, skew float64) {
+	if g.N == 0 {
+		return 0, 1
+	}
+	if k > g.N {
+		k = g.N
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var s1, s2 float64
+	for i := 0; i < k; i++ {
+		d := float64(g.Degree(rng.Intn(g.N)))
+		s1 += d
+		s2 += d * d
+	}
+	kf := float64(k)
+	dbar = s1 / kf
+	if dbar == 0 {
+		return 0, 1
+	}
+	skew = (s2 / kf) / (dbar * dbar)
+	if skew < 1 {
+		skew = 1
+	}
+	return dbar, skew
+}

@@ -1,0 +1,87 @@
+package aam
+
+import (
+	"testing"
+
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+)
+
+// PredictM must reproduce the paper's qualitative optima: coarse
+// transactions on BG/Q, near-atomic granularity on Haswell, and a
+// monotone response to contention (more threads or heavier skew → finer
+// transactions).
+
+func TestPredictMQualitativeOptima(t *testing.T) {
+	g := graph.Kronecker(14, 8, 1)
+	bgq := exec.BGQ()
+	hasc := exec.HaswellC()
+
+	mBGQ := PredictM(g, &bgq, "short", 16, 1)
+	mHas := PredictM(g, &hasc, "rtm", 8, 1)
+
+	// Paper: M_min = 80 (BGQ T=16), M_min = 2 (Has-C). The prediction
+	// must land in the right regime, not on the exact number.
+	if mBGQ < 16 || mBGQ > 320 {
+		t.Fatalf("BGQ predicted M = %d; paper's optimum regime is coarse (≈80)", mBGQ)
+	}
+	if mHas > 16 {
+		t.Fatalf("Haswell predicted M = %d; paper's optimum regime is fine (≈2)", mHas)
+	}
+	if mBGQ <= mHas {
+		t.Fatalf("BGQ M (%d) must exceed Haswell M (%d)", mBGQ, mHas)
+	}
+}
+
+func TestPredictMStaysCoarseAcrossThreads(t *testing.T) {
+	// The paper's BG/Q optima stay coarse at every thread count (M=80 at
+	// T=16, M=144 at T=64): the prediction must not collapse to fine
+	// grain when threads are added.
+	g := graph.Kronecker(13, 16, 2)
+	bgq := exec.BGQ()
+	for _, T := range []int{1, 16, 64} {
+		if m := PredictM(g, &bgq, "short", T, 2); m < 8 {
+			t.Fatalf("T=%d: predicted M = %d; BG/Q must stay coarse", T, m)
+		}
+	}
+}
+
+func TestPredictMShrinksWithSkew(t *testing.T) {
+	bgq := exec.BGQ()
+	uniform := graph.RoadGrid(64, 64, 0, 3) // flat degrees
+	powerlaw := graph.Kronecker(12, 16, 3)  // hub-heavy
+	mU := PredictM(uniform, &bgq, "short", 64, 3)
+	mP := PredictM(powerlaw, &bgq, "short", 64, 3)
+	if mP > mU {
+		t.Fatalf("hub-heavy graph must not coarsen more: uniform → %d, power-law → %d", mU, mP)
+	}
+}
+
+func TestPredictMDegenerateInputs(t *testing.T) {
+	bgq := exec.BGQ()
+	empty := graph.NewBuilder(16).Build() // no edges
+	if m := PredictM(empty, &bgq, "short", 4, 4); m != 1 {
+		t.Fatalf("edgeless graph predicted M = %d, want 1", m)
+	}
+	tiny := graph.NewBuilder(2)
+	tiny.AddEdge(0, 1)
+	if m := PredictM(tiny.Build(), &bgq, "short", 64, 4); m < 1 || m > 320 {
+		t.Fatalf("tiny graph predicted M = %d out of range", m)
+	}
+}
+
+func TestSampleDegreesEstimates(t *testing.T) {
+	// A 3-regular ring: dbar = 2, skew = 1 exactly.
+	b := graph.NewBuilder(100)
+	for i := int32(0); i < 100; i++ {
+		b.AddEdge(i, (i+1)%100)
+	}
+	g := b.Build()
+	dbar, skew := sampleDegrees(g, 100, 5)
+	if dbar != 2 {
+		t.Fatalf("ring mean degree = %v, want 2", dbar)
+	}
+	if skew != 1 {
+		t.Fatalf("ring skew = %v, want 1", skew)
+	}
+}

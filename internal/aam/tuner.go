@@ -1,0 +1,84 @@
+package aam
+
+import (
+	"aamgo/internal/vtime"
+)
+
+// tuner implements the online selection of the coarsening factor M that
+// the paper leaves as future work (§7): a multiplicative hill climb on
+// operator throughput. The engine reports every executed batch; once a
+// window of operators has been observed, the tuner compares the window's
+// throughput with the previous one and either keeps or reverses the search
+// direction, doubling or halving M within [1, MaxM].
+//
+// The search prunes the space the way §7 suggests — it never proposes
+// values outside the range that the utilized HTM implementation can
+// commit, because capacity aborts depress throughput and turn the climb
+// around on their own.
+type tuner struct {
+	minM, maxM int
+	window     uint64 // operators per decision window
+
+	ops      uint64
+	winStart vtime.Time
+	started  bool
+	lastRate float64
+	grow     bool
+}
+
+// newTuner returns a tuner for the given bounds; window is the number of
+// operators between decisions.
+func newTuner(minM, maxM int, window uint64) *tuner {
+	if minM < 1 {
+		minM = 1
+	}
+	if maxM < minM {
+		maxM = minM
+	}
+	if window == 0 {
+		window = 256
+	}
+	return &tuner{minM: minM, maxM: maxM, window: window, grow: true}
+}
+
+// observe accounts a committed batch of n operators at virtual time now,
+// returning the M the engine should use from here on.
+func (t *tuner) observe(now vtime.Time, n int, curM int) int {
+	if !t.started {
+		t.started = true
+		t.winStart = now
+		t.ops = 0
+		return curM
+	}
+	t.ops += uint64(n)
+	if t.ops < t.window {
+		return curM
+	}
+	elapsed := now - t.winStart
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	rate := float64(t.ops) / float64(elapsed)
+	if t.lastRate > 0 && rate < t.lastRate*0.98 {
+		t.grow = !t.grow // the last move hurt: turn around
+	}
+	t.lastRate = rate
+	t.ops = 0
+	t.winStart = now
+
+	next := curM
+	if t.grow {
+		next *= 2
+	} else {
+		next /= 2
+	}
+	if next > t.maxM {
+		next = t.maxM
+		t.grow = false
+	}
+	if next < t.minM {
+		next = t.minM
+		t.grow = true
+	}
+	return next
+}

@@ -1,0 +1,181 @@
+package algo
+
+import (
+	"aamgo/internal/aam"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/vtime"
+)
+
+// Coloring implements Boman et al.'s distributed-memory graph coloring
+// heuristic with the paper's FR&MF operator (§3.3.5, Listing 7): an
+// activity sets a vertex's color and scans the neighborhood inside the
+// transaction; on a collision it returns the id of a vertex to recolor
+// (chosen at random between the two endpoints), and the failure handler at
+// the spawner schedules that vertex for the next round.
+//
+// Colors are stored as color+1 (0 = uncolored). Single node, as in the
+// paper's intra-node case studies.
+type Coloring struct {
+	G *graph.Graph
+
+	rt      *aam.Runtime
+	colorOp int
+
+	L int
+	// Layout: colors, double-buffered work queues + tails, parity.
+	colorBase  int
+	qBase      [2]int
+	tailAddr   [2]int
+	parityAddr int
+}
+
+// noVertex mirrors the paper's NO_VERTEX_ID.
+const noVertex = ^uint64(0) >> 1
+
+// NewColoring prepares a coloring run over g.
+func NewColoring(g *graph.Graph) *Coloring {
+	L := g.N
+	c := &Coloring{G: g, L: L}
+	c.colorBase = 0
+	c.qBase[0] = L
+	c.qBase[1] = 2 * L
+	c.tailAddr[0] = 3 * L
+	c.tailAddr[1] = 3*L + 1
+	c.parityAddr = 3*L + 2
+
+	c.rt = aam.NewRuntime()
+	c.colorOp = c.rt.Register(&aam.Op{
+		Name:   "boman-color",
+		Return: true,
+		Body: func(tx exec.Tx, e *aam.Engine, v int, arg uint64) (uint64, bool) {
+			tx.Write(c.colorBase+v, arg+1)
+			// Scan the whole neighborhood. A single colliding neighbor is
+			// repaired by recoloring one of the two endpoints at random
+			// (Listing 7); with two or more collisions only recoloring v
+			// itself fixes every conflicting edge, so the choice is forced.
+			collide := noVertex
+			for _, w := range c.G.Neighbors(v) {
+				if int(w) == v {
+					continue
+				}
+				if tx.Read(c.colorBase+int(w)) == arg+1 {
+					if collide != noVertex && collide != uint64(w) {
+						return uint64(v), false
+					}
+					collide = uint64(w)
+				}
+			}
+			if collide == noVertex {
+				return noVertex, false
+			}
+			if e.Ctx().Rand().Intn(2) == 0 {
+				return collide, false
+			}
+			return uint64(v), false
+		},
+		OnReturn: func(e *aam.Engine, vGlobal int, ret uint64, fail bool) {
+			if fail || ret == noVertex {
+				return
+			}
+			// Failure handler: schedule the collision vertex for the
+			// next round.
+			ctx := e.Ctx()
+			next := int(ctx.Load(c.parityAddr)) ^ 1
+			idx := ctx.FetchAdd(c.tailAddr[next], 1)
+			ctx.Store(c.qBase[next]+int(idx), ret)
+		},
+	})
+	return c
+}
+
+// Handlers splices the runtime handlers into existing.
+func (c *Coloring) Handlers(existing []exec.HandlerFunc) []exec.HandlerFunc {
+	return c.rt.Handlers(existing)
+}
+
+// MemWords returns the node memory size Coloring needs.
+func (c *Coloring) MemWords() int { return 4*c.L + 64 + c.L }
+
+// Body returns the SPMD body. maxRounds bounds the repair iterations.
+func (c *Coloring) Body(engineCfg aam.Config, maxRounds int) func(ctx exec.Context) {
+	engineCfg.Part = graph.NewPartition(c.G.N, 1)
+	engineCfg.LockBase = 4*c.L + 64
+	if maxRounds <= 0 {
+		maxRounds = 200
+	}
+	return func(ctx exec.Context) { c.run(ctx, engineCfg, maxRounds) }
+}
+
+func (c *Coloring) run(ctx exec.Context, engineCfg aam.Config, maxRounds int) {
+	eng := aam.NewEngine(c.rt, ctx, engineCfg)
+	T := ctx.ThreadsPerNode()
+	lid := ctx.LocalID()
+	n := c.G.N
+
+	// Round 0: every vertex is in the work queue.
+	clo := lid * n / T
+	chi := (lid + 1) * n / T
+	for v := clo; v < chi; v++ {
+		ctx.Store(c.qBase[0]+v, uint64(v))
+	}
+	if lid == 0 {
+		ctx.Store(c.tailAddr[0], uint64(n))
+		ctx.Store(c.parityAddr, 0)
+	}
+	ctx.Barrier()
+
+	for round := 0; round < maxRounds; round++ {
+		cur := round & 1
+		count := int(ctx.Load(c.tailAddr[cur]))
+		lo := lid * count / T
+		hi := (lid + 1) * count / T
+		for i := lo; i < hi; i++ {
+			v := int(ctx.Load(c.qBase[cur] + i))
+			// Pick the smallest color unused by the neighborhood
+			// (plain reads; collisions are repaired by the operator).
+			neigh := c.G.Neighbors(v)
+			ctx.Compute(vtime.Time(len(neigh)/2+1) * ctx.Profile().LoadCost)
+			var used uint64 // bitmask of low 64 colors
+			for _, w := range neigh {
+				if cw := ctx.Load(c.colorBase + int(w)); cw > 0 && cw <= 64 {
+					used |= 1 << (cw - 1)
+				}
+			}
+			color := uint64(0)
+			for used&(1<<color) != 0 {
+				color++
+			}
+			eng.Spawn(c.colorOp, v, color)
+		}
+		eng.Drain()
+
+		nextLocal := uint64(0)
+		if lid == 0 {
+			nextLocal = ctx.Load(c.tailAddr[cur^1])
+		}
+		total := ctx.AllReduceSum(nextLocal)
+		if lid == 0 {
+			ctx.Store(c.tailAddr[cur], 0)
+			ctx.Store(c.parityAddr, uint64(cur^1))
+		}
+		ctx.Barrier()
+		if total == 0 {
+			return
+		}
+	}
+}
+
+// Colors returns the final coloring (0-based) and the color count.
+func (c *Coloring) Colors(m exec.Machine) ([]int32, int) {
+	out := make([]int32, c.G.N)
+	maxc := 0
+	for v := range out {
+		raw := m.Mem(0)[c.colorBase+v]
+		out[v] = int32(raw) - 1
+		if int(raw) > maxc {
+			maxc = int(raw)
+		}
+	}
+	return out, maxc
+}

@@ -1,0 +1,248 @@
+// Package algo implements the paper's case-study graph algorithms (§3.3)
+// on the abstract machine: BFS (FF&MF), PageRank (FF&AS), Boruvka MST
+// (FR&MF with rollback), ST-connectivity (FR&AS), Boman graph coloring
+// (FR&MF) and SSSP, each with an AAM implementation, an atomics baseline
+// where the paper evaluates one, and a sequential reference used for
+// validation.
+package algo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"aamgo/internal/graph"
+)
+
+// SeqBFS returns the BFS distance of every vertex from src (-1 when
+// unreachable).
+func SeqBFS(g *graph.Graph, src int) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// SeqPageRank runs k power iterations with damping d and returns the rank
+// vector (push formulation with stale ranks, matching §3.3.1).
+func SeqPageRank(g *graph.Graph, d float64, k int) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	base := (1 - d) / float64(n)
+	for it := 0; it < k; it++ {
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			deg := g.Degree(v)
+			if deg == 0 {
+				continue
+			}
+			share := d * rank[v] / float64(deg)
+			for _, w := range g.Neighbors(v) {
+				next[w] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// SeqMSTWeight returns the total weight of a minimum spanning forest via
+// Kruskal's algorithm with union-find. The graph must carry weights.
+func SeqMSTWeight(g *graph.Graph) uint64 {
+	type wedge struct {
+		w    uint32
+		u, v int32
+	}
+	var edges []wedge
+	for u := 0; u < g.N; u++ {
+		ws := g.EdgeWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if int32(u) < v { // each undirected edge once
+				edges = append(edges, wedge{ws[i], int32(u), v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	uf := NewUnionFind(g.N)
+	var total uint64
+	for _, e := range edges {
+		if uf.Union(int(e.u), int(e.v)) {
+			total += uint64(e.w)
+		}
+	}
+	return total
+}
+
+// UnionFind is a standard disjoint-set forest with path compression and
+// union by size.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+}
+
+// NewUnionFind builds n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the set representative of v.
+func (uf *UnionFind) Find(v int) int {
+	r := int32(v)
+	for uf.parent[r] != r {
+		uf.parent[r] = uf.parent[uf.parent[r]] // halving
+		r = uf.parent[r]
+	}
+	return int(r)
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := int32(uf.Find(a)), int32(uf.Find(b))
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// SeqConnected reports whether s and t are in the same component.
+func SeqConnected(g *graph.Graph, s, t int) bool {
+	return SeqBFS(g, s)[t] >= 0
+}
+
+// SeqComponents labels each vertex with the smallest vertex id in its
+// component.
+func SeqComponents(g *graph.Graph) []int32 {
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	for v := 0; v < g.N; v++ {
+		if label[v] >= 0 {
+			continue
+		}
+		// BFS flood with label v.
+		label[v] = int32(v)
+		stack := []int32{int32(v)}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if label[w] < 0 {
+					label[w] = int32(v)
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// SeqSSSP runs Dijkstra from src over the graph's weights and returns the
+// distances (math.MaxUint64 when unreachable).
+func SeqSSSP(g *graph.Graph, src int) []uint64 {
+	const inf = math.MaxUint64
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: int32(src), d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue
+		}
+		ws := g.EdgeWeights(int(top.v))
+		for i, w := range g.Neighbors(int(top.v)) {
+			nd := top.d + uint64(ws[i])
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, distEntry{v: w, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	v int32
+	d uint64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// GreedyColoring returns a sequential greedy coloring and the number of
+// colors used (validation reference for Boman coloring).
+func GreedyColoring(g *graph.Graph) ([]int32, int) {
+	color := make([]int32, g.N)
+	for i := range color {
+		color[i] = -1
+	}
+	maxc := 0
+	taken := map[int32]bool{}
+	for v := 0; v < g.N; v++ {
+		clear(taken)
+		for _, w := range g.Neighbors(v) {
+			if color[w] >= 0 {
+				taken[color[w]] = true
+			}
+		}
+		c := int32(0)
+		for taken[c] {
+			c++
+		}
+		color[v] = c
+		if int(c)+1 > maxc {
+			maxc = int(c) + 1
+		}
+	}
+	return color, maxc
+}
+
+// ValidColoring checks that no edge connects same-colored vertices.
+func ValidColoring(g *graph.Graph, color []int32) bool {
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) != v && color[v] == color[w] {
+				return false
+			}
+		}
+	}
+	return true
+}

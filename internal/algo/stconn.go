@@ -1,0 +1,201 @@
+package algo
+
+import (
+	"aamgo/internal/aam"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/vtime"
+)
+
+// STConn decides s–t connectivity with the paper's FR&AS operator (§3.3.4,
+// Listing 6): two BFS waves grow from s (grey) and t (green); the visit
+// operator colors white vertices and returns true when it touches the
+// other wave's color, upon which the failure handler at the spawner
+// terminates the algorithm.
+type STConn struct {
+	G    *graph.Graph
+	Part graph.Partition
+
+	rt      *aam.Runtime
+	visitOp int
+
+	L int
+	// Layout: colors, double-buffered frontier of packed (v<<2|color),
+	// tails, parity, found flag.
+	colorBase  int
+	qBase      [2]int
+	tailAddr   [2]int
+	parityAddr int
+	foundAddr  int
+}
+
+// Colors.
+const (
+	stWhite = 0
+	stGrey  = 1 // wave from s
+	stGreen = 2 // wave from t
+)
+
+// NewSTConn prepares an s–t connectivity run over g distributed across
+// nodes.
+func NewSTConn(g *graph.Graph, nodes int) *STConn {
+	part := graph.NewPartition(g.N, nodes)
+	L := part.MaxLocal()
+	s := &STConn{G: g, Part: part, L: L}
+	s.colorBase = 0
+	s.qBase[0] = L
+	s.qBase[1] = 2 * L
+	s.tailAddr[0] = 3 * L
+	s.tailAddr[1] = 3*L + 1
+	s.parityAddr = 3*L + 2
+	s.foundAddr = 3*L + 3
+
+	s.rt = aam.NewRuntime()
+	s.visitOp = s.rt.Register(&aam.Op{
+		Name:   "stconn-visit",
+		Return: true,
+		Body: func(tx exec.Tx, e *aam.Engine, v int, arg uint64) (uint64, bool) {
+			c := tx.Read(s.colorBase + v)
+			switch {
+			case c == stWhite:
+				tx.Write(s.colorBase+v, arg)
+				return arg, false // continue the wave
+			case c == arg:
+				return 0, true // already ours: May-Fail no-op
+			default:
+				return 3, false // touched the other wave: connected!
+			}
+		},
+		BodyAtomic: func(ctx exec.Context, e *aam.Engine, v int, arg uint64) (uint64, bool) {
+			for {
+				c := ctx.Load(s.colorBase + v)
+				if c == arg {
+					return 0, true
+				}
+				if c != stWhite {
+					return 3, false
+				}
+				if ctx.CAS(s.colorBase+v, stWhite, arg) {
+					return arg, false
+				}
+			}
+		},
+		OnDone: func(e *aam.Engine, vGlobal int, ret uint64, fail bool) {
+			if fail {
+				return
+			}
+			ctx := e.Ctx()
+			if ret == 3 {
+				ctx.Store(s.foundAddr, 1)
+				return
+			}
+			next := int(ctx.Load(s.parityAddr)) ^ 1
+			idx := ctx.FetchAdd(s.tailAddr[next], 1)
+			packed := uint64(s.Part.Local(vGlobal))<<2 | ret
+			ctx.Store(s.qBase[next]+int(idx), packed)
+		},
+		OnReturn: func(e *aam.Engine, vGlobal int, ret uint64, fail bool) {
+			// Failure handler: terminate when the waves met (§3.3.4).
+			if !fail && ret == 3 {
+				e.Ctx().Store(s.foundAddr, 1)
+			}
+		},
+	})
+	return s
+}
+
+// Handlers splices the runtime handlers into existing.
+func (s *STConn) Handlers(existing []exec.HandlerFunc) []exec.HandlerFunc {
+	return s.rt.Handlers(existing)
+}
+
+// MemWords returns the node memory size STConn needs.
+func (s *STConn) MemWords() int { return 4*s.L + 64 + s.L }
+
+// Body returns the SPMD body deciding whether src and dst are connected.
+func (s *STConn) Body(src, dst int, engineCfg aam.Config) func(ctx exec.Context) {
+	engineCfg.Part = s.Part
+	engineCfg.LockBase = 4*s.L + 64
+	return func(ctx exec.Context) { s.run(ctx, src, dst, engineCfg) }
+}
+
+func (s *STConn) run(ctx exec.Context, src, dst int, engineCfg aam.Config) {
+	eng := aam.NewEngine(s.rt, ctx, engineCfg)
+	T := ctx.ThreadsPerNode()
+	lid := ctx.LocalID()
+	me := ctx.NodeID()
+
+	if src == dst {
+		if lid == 0 && me == 0 {
+			ctx.Store(s.foundAddr, 1)
+		}
+		ctx.Barrier()
+		return
+	}
+	// Seed both waves.
+	if me == s.Part.Owner(src) && lid == 0 {
+		ls := s.Part.Local(src)
+		ctx.Store(s.colorBase+ls, stGrey)
+		idx := ctx.FetchAdd(s.tailAddr[0], 1)
+		ctx.Store(s.qBase[0]+int(idx), uint64(ls)<<2|stGrey)
+	}
+	if me == s.Part.Owner(dst) && lid == 0 {
+		ld := s.Part.Local(dst)
+		ctx.Store(s.colorBase+ld, stGreen)
+		idx := ctx.FetchAdd(s.tailAddr[0], 1)
+		ctx.Store(s.qBase[0]+int(idx), uint64(ld)<<2|stGreen)
+	}
+	if lid == 0 {
+		ctx.Store(s.parityAddr, 0)
+	}
+	ctx.Barrier()
+
+	for level := 0; ; level++ {
+		cur := level & 1
+		count := int(ctx.Load(s.tailAddr[cur]))
+		lo := lid * count / T
+		hi := (lid + 1) * count / T
+		for i := lo; i < hi; i++ {
+			packed := ctx.Load(s.qBase[cur] + i)
+			lv := int(packed >> 2)
+			color := packed & 3
+			u := s.Part.Global(me, lv)
+			neigh := s.G.Neighbors(u)
+			ctx.Compute(vtime.Time(len(neigh)/2+1) * ctx.Profile().LoadCost)
+			for _, w := range neigh {
+				eng.Spawn(s.visitOp, int(w), color)
+			}
+		}
+		eng.Drain()
+
+		foundLocal := uint64(0)
+		nextLocal := uint64(0)
+		if lid == 0 {
+			foundLocal = ctx.Load(s.foundAddr)
+			nextLocal = ctx.Load(s.tailAddr[cur^1])
+		}
+		found := ctx.AllReduceSum(foundLocal)
+		total := ctx.AllReduceSum(nextLocal)
+		if lid == 0 {
+			ctx.Store(s.tailAddr[cur], 0)
+			ctx.Store(s.parityAddr, uint64(cur^1))
+			if found > 0 {
+				ctx.Store(s.foundAddr, 1) // propagate to every node
+			}
+		}
+		ctx.Barrier()
+		if found > 0 || total == 0 {
+			return
+		}
+	}
+}
+
+// Connected reports the result after the run.
+func (s *STConn) Connected(m exec.Machine) bool {
+	for node := 0; node < s.Part.Nodes; node++ {
+		if m.Mem(node)[s.foundAddr] != 0 {
+			return true
+		}
+	}
+	return false
+}

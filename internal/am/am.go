@@ -1,0 +1,95 @@
+// Package am is the active-message layer used by the AAM runtime and the
+// baselines: a per-destination coalescing buffer (the paper's activity
+// coalescing, §4.2) and a counting-based quiescence protocol for draining
+// asynchronous phases.
+package am
+
+import (
+	"aamgo/internal/exec"
+)
+
+// Coalescer batches variable-length message units per destination node and
+// injects one packet once C units have accumulated (or on Flush). Batching
+// amortizes the per-message α cost and the sender/receiver overheads, which
+// is exactly the lever evaluated in the paper's Figure 5.
+type Coalescer struct {
+	ctx     exec.Context
+	handler int
+	c       int
+	bufs    [][]uint64
+	units   []int
+
+	// UnitsSent counts coalesced units for reporting.
+	UnitsSent uint64
+}
+
+// NewCoalescer builds a coalescer sending to the given handler with
+// coalescing factor c (c <= 1 disables batching).
+func NewCoalescer(ctx exec.Context, handler, c int) *Coalescer {
+	if c < 1 {
+		c = 1
+	}
+	return &Coalescer{
+		ctx:     ctx,
+		handler: handler,
+		c:       c,
+		bufs:    make([][]uint64, ctx.Nodes()),
+		units:   make([]int, ctx.Nodes()),
+	}
+}
+
+// C returns the coalescing factor.
+func (co *Coalescer) C() int { return co.c }
+
+// Add appends one unit destined for dst and flushes the destination's
+// buffer when the factor is reached.
+func (co *Coalescer) Add(dst int, words ...uint64) {
+	co.bufs[dst] = append(co.bufs[dst], words...)
+	co.units[dst]++
+	co.UnitsSent++
+	co.ctx.Stats().OpsCoalesced++
+	if co.units[dst] >= co.c {
+		co.Flush(dst)
+	}
+}
+
+// Flush sends dst's pending units, if any.
+func (co *Coalescer) Flush(dst int) {
+	if co.units[dst] == 0 {
+		return
+	}
+	co.ctx.Send(dst, co.handler, co.bufs[dst])
+	co.bufs[dst] = co.bufs[dst][:0]
+	co.units[dst] = 0
+}
+
+// FlushAll sends every pending buffer.
+func (co *Coalescer) FlushAll() {
+	for dst := range co.bufs {
+		co.Flush(dst)
+	}
+}
+
+// Pending returns the number of buffered units for dst.
+func (co *Coalescer) Pending(dst int) int { return co.units[dst] }
+
+// Drain runs the machine to quiescence: all threads must call Drain
+// collectively after flushing their buffers. Threads alternate polling and
+// a global all-reduce of cumulative (messages sent, handlers run); when the
+// two totals agree in two consecutive rounds, no message is in flight and
+// no handler can generate new traffic, so the phase has terminated.
+//
+// Handlers are free to send messages (e.g. chained activities): every send
+// bumps the sent count, keeping the protocol sound.
+func Drain(ctx exec.Context) {
+	prevSent, prevHandled := ^uint64(0), ^uint64(0)
+	for {
+		ctx.Poll()
+		sent := ctx.AllReduceSum(ctx.Stats().MsgsSent)
+		handled := ctx.AllReduceSum(ctx.Stats().HandlersRun)
+		if sent == handled && sent == prevSent && handled == prevHandled {
+			return
+		}
+		prevSent, prevHandled = sent, handled
+	}
+}

@@ -1,0 +1,158 @@
+package am_test
+
+import (
+	"testing"
+
+	"aamgo/internal/am"
+	"aamgo/internal/exec"
+	"aamgo/internal/sim"
+)
+
+// echoMachine builds a 3-node machine whose handler 0 adds the payload
+// words into the target node's memory cell 0.
+func accMachine(handlers []exec.HandlerFunc, seed int64) *sim.Machine {
+	prof := exec.BGQ()
+	return sim.New(exec.Config{
+		Nodes: 3, ThreadsPerNode: 2, MemWords: 64,
+		Profile: &prof, Handlers: handlers, Seed: seed,
+	})
+}
+
+func accHandler(ctx exec.Context, src int, payload []uint64) {
+	for _, w := range payload {
+		ctx.FetchAdd(0, w)
+	}
+}
+
+func TestCoalescerBatchesByFactor(t *testing.T) {
+	m := accMachine([]exec.HandlerFunc{accHandler}, 1)
+	res := m.Run(func(ctx exec.Context) {
+		co := am.NewCoalescer(ctx, 0, 4)
+		if ctx.GlobalID() == 0 {
+			for i := 0; i < 10; i++ {
+				co.Add(1, 1)
+			}
+			// 10 units at C=4: two auto-flushed packets, 2 pending.
+			if got := co.Pending(1); got != 2 {
+				t.Errorf("pending = %d, want 2", got)
+			}
+			co.FlushAll()
+			if got := co.Pending(1); got != 0 {
+				t.Errorf("pending after FlushAll = %d", got)
+			}
+		}
+		am.Drain(ctx)
+	})
+	if got := m.Mem(1)[0]; got != 10 {
+		t.Fatalf("delivered sum = %d, want 10", got)
+	}
+	// 3 packets total (4+4+2).
+	if res.Stats.MsgsSent != 3 {
+		t.Fatalf("messages = %d, want 3", res.Stats.MsgsSent)
+	}
+}
+
+func TestCoalescerFactorOneSendsEagerly(t *testing.T) {
+	m := accMachine([]exec.HandlerFunc{accHandler}, 2)
+	res := m.Run(func(ctx exec.Context) {
+		co := am.NewCoalescer(ctx, 0, 1)
+		if ctx.GlobalID() == 0 {
+			for i := 0; i < 5; i++ {
+				co.Add(2, 1)
+				if co.Pending(2) != 0 {
+					t.Error("C=1 must flush on every Add")
+				}
+			}
+		}
+		am.Drain(ctx)
+	})
+	if got := m.Mem(2)[0]; got != 5 {
+		t.Fatalf("delivered sum = %d, want 5", got)
+	}
+	if res.Stats.MsgsSent != 5 {
+		t.Fatalf("messages = %d, want 5", res.Stats.MsgsSent)
+	}
+}
+
+func TestCoalescerMultiDestination(t *testing.T) {
+	m := accMachine([]exec.HandlerFunc{accHandler}, 3)
+	m.Run(func(ctx exec.Context) {
+		co := am.NewCoalescer(ctx, 0, 8)
+		if ctx.GlobalID() == 0 {
+			for i := 0; i < 6; i++ {
+				co.Add(1, 2)
+				co.Add(2, 3)
+			}
+			co.FlushAll()
+		}
+		am.Drain(ctx)
+	})
+	if got := m.Mem(1)[0]; got != 12 {
+		t.Fatalf("node 1 sum = %d, want 12", got)
+	}
+	if got := m.Mem(2)[0]; got != 18 {
+		t.Fatalf("node 2 sum = %d, want 18", got)
+	}
+}
+
+// TestDrainQuiescesChainedHandlers exercises the termination protocol when
+// handlers send further messages: node 0 sends a token that hops across
+// all nodes a fixed number of times.
+func TestDrainQuiescesChainedHandlers(t *testing.T) {
+	var hop exec.HandlerFunc = func(ctx exec.Context, src int, p []uint64) {
+		remaining := p[0]
+		ctx.FetchAdd(1, 1) // count hops at every node
+		if remaining > 0 {
+			ctx.Send((ctx.NodeID()+1)%ctx.Nodes(), 0, []uint64{remaining - 1})
+		}
+	}
+	m := accMachine([]exec.HandlerFunc{hop}, 4)
+	m.Run(func(ctx exec.Context) {
+		if ctx.GlobalID() == 0 {
+			ctx.Send(1, 0, []uint64{20})
+		}
+		am.Drain(ctx)
+	})
+	total := uint64(0)
+	for n := 0; n < 3; n++ {
+		total += m.Mem(n)[1]
+	}
+	if total != 21 {
+		t.Fatalf("hops = %d, want 21", total)
+	}
+}
+
+func TestDrainIsIdempotent(t *testing.T) {
+	m := accMachine([]exec.HandlerFunc{accHandler}, 5)
+	m.Run(func(ctx exec.Context) {
+		am.Drain(ctx)
+		if ctx.GlobalID() == 1 {
+			ctx.Send(0, 0, []uint64{7})
+		}
+		am.Drain(ctx)
+		am.Drain(ctx)
+	})
+	if got := m.Mem(0)[0]; got != 7 {
+		t.Fatalf("sum = %d, want 7", got)
+	}
+}
+
+func TestCoalescerUnitsSentCounter(t *testing.T) {
+	m := accMachine([]exec.HandlerFunc{accHandler}, 6)
+	m.Run(func(ctx exec.Context) {
+		co := am.NewCoalescer(ctx, 0, 16)
+		if ctx.GlobalID() == 0 {
+			for i := 0; i < 33; i++ {
+				co.Add(1, 1)
+			}
+			co.FlushAll()
+			if co.UnitsSent != 33 {
+				t.Errorf("UnitsSent = %d, want 33", co.UnitsSent)
+			}
+			if co.C() != 16 {
+				t.Errorf("C() = %d", co.C())
+			}
+		}
+		am.Drain(ctx)
+	})
+}

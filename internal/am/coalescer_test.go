@@ -1,0 +1,147 @@
+package am_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aamgo/internal/am"
+	"aamgo/internal/exec"
+	"aamgo/internal/sim"
+)
+
+// Property tests for the coalescer: whatever the interleaving of
+// destinations, factors and flushes, every unit arrives exactly once, in
+// per-destination order, and the packet count matches ceil(units/C) per
+// destination.
+
+func coalescerMachine(nodes int, handler exec.HandlerFunc) exec.Machine {
+	prof := exec.BGQ()
+	return sim.New(exec.Config{
+		Nodes: nodes, ThreadsPerNode: 1, MemWords: 1 << 10,
+		Profile: &prof, Seed: 3,
+		Handlers: []exec.HandlerFunc{handler},
+	})
+}
+
+func TestCoalescerDeliversEveryUnitInOrder(t *testing.T) {
+	check := func(rawC uint8, rawUnits uint8, seed int64) bool {
+		c := int(rawC%32) + 1
+		units := int(rawUnits%100) + 1
+		const nodes = 4
+
+		type unit struct {
+			dst int
+			val uint64
+		}
+		received := make([][]uint64, nodes)
+		packets := make([]int, nodes)
+		m := coalescerMachine(nodes, func(ctx exec.Context, src int, payload []uint64) {
+			packets[ctx.NodeID()]++
+			received[ctx.NodeID()] = append(received[ctx.NodeID()], payload...)
+		})
+
+		var sent [][]unit
+		m.Run(func(ctx exec.Context) {
+			if ctx.GlobalID() == 0 {
+				co := am.NewCoalescer(ctx, 0, c)
+				rng := ctx.Rand()
+				var mine []unit
+				for i := 0; i < units; i++ {
+					u := unit{dst: rng.Intn(nodes), val: uint64(i)<<8 | uint64(seed&0xff)}
+					co.Add(u.dst, u.val)
+					mine = append(mine, u)
+				}
+				co.FlushAll()
+				sent = append(sent, mine)
+			}
+			// Drain: keep polling until all units are visible everywhere
+			// (the host-side slices are safe to read: sim threads hand off
+			// cooperatively).
+			for {
+				ctx.Poll()
+				got := 0
+				for n := 0; n < nodes; n++ {
+					got += len(received[n])
+				}
+				if got >= units {
+					return
+				}
+				ctx.Compute(100)
+			}
+		})
+
+		// Per-destination order and content.
+		want := make([][]uint64, nodes)
+		for _, u := range sent[0] {
+			want[u.dst] = append(want[u.dst], u.val)
+		}
+		for n := 0; n < nodes; n++ {
+			if len(want[n]) != len(received[n]) {
+				t.Logf("node %d: got %d units, want %d", n, len(received[n]), len(want[n]))
+				return false
+			}
+			for i := range want[n] {
+				if want[n][i] != received[n][i] {
+					t.Logf("node %d unit %d: got %d, want %d", n, i, received[n][i], want[n][i])
+					return false
+				}
+			}
+			// Packet count: ceil(units/C), allowing the self-node
+			// shortcut to behave identically.
+			if u := len(want[n]); u > 0 {
+				wantPkts := (u + c - 1) / c
+				if packets[n] != wantPkts {
+					t.Logf("node %d: %d packets for %d units at C=%d, want %d",
+						n, packets[n], u, c, wantPkts)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescerFlushEmptyIsNoop(t *testing.T) {
+	calls := 0
+	m := coalescerMachine(2, func(ctx exec.Context, src int, payload []uint64) { calls++ })
+	m.Run(func(ctx exec.Context) {
+		if ctx.GlobalID() == 0 {
+			co := am.NewCoalescer(ctx, 0, 8)
+			co.Flush(1)
+			co.FlushAll()
+		}
+		ctx.Barrier()
+		ctx.Poll()
+		ctx.Barrier()
+	})
+	if calls != 0 {
+		t.Fatalf("empty flush sent %d packets", calls)
+	}
+}
+
+func TestCoalescerFactorOneSendsImmediately(t *testing.T) {
+	var payloads int
+	m := coalescerMachine(2, func(ctx exec.Context, src int, payload []uint64) { payloads++ })
+	res := m.Run(func(ctx exec.Context) {
+		if ctx.GlobalID() == 0 {
+			co := am.NewCoalescer(ctx, 0, 1)
+			for i := 0; i < 5; i++ {
+				co.Add(1, uint64(i), uint64(i))
+			}
+		}
+		ctx.Barrier()
+		for i := 0; i < 20; i++ {
+			ctx.Poll()
+			ctx.Compute(1000)
+		}
+	})
+	if payloads != 5 {
+		t.Fatalf("C=1 delivered %d packets, want 5", payloads)
+	}
+	if res.Stats.MsgsSent != 5 {
+		t.Fatalf("C=1 sent %d messages, want 5", res.Stats.MsgsSent)
+	}
+}

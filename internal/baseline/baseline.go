@@ -1,0 +1,39 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (§6): a Galois-like lock-based speculative runtime, a
+// HAMA-like Hadoop BSP engine, a PBGL-like active-message PageRank without
+// coalescing or threading, and PAMI/MPI-3-RMA-like one-sided remote
+// atomics. Each models the cost structure the paper attributes to the
+// system rather than reimplementing it verbatim; DESIGN.md §2 documents
+// the substitutions.
+package baseline
+
+import (
+	"aamgo/internal/aam"
+	"aamgo/internal/algo"
+	"aamgo/internal/exec"
+	"aamgo/internal/vtime"
+)
+
+// GaloisBFSConfig returns the BFS configuration modeling the Galois
+// runtime: fine-grained per-vertex locking (no coarsening — Galois
+// activities are individual operator applications) and the full
+// conflict-detection machinery on every task.
+func GaloisBFSConfig() algo.BFSConfig {
+	return algo.BFSConfig{
+		Mode: algo.BFSAAM,
+		Engine: aam.Config{
+			M:         1,
+			Mechanism: aam.MechLock,
+		},
+		VisitedCheck: false, // Galois tasks always execute their operator
+	}
+}
+
+// GaloisProfile inflates the machine profile with the Galois scheduler's
+// per-task overhead (task allocation, conflict log, worklist churn); the
+// paper reports Galois 20–50% behind AAM/Graph500 on Haswell (§6.1.3).
+func GaloisProfile(base exec.MachineProfile) exec.MachineProfile {
+	p := base
+	p.TaskOverhead = base.TaskOverhead + 90*vtime.Nanosecond
+	return p
+}

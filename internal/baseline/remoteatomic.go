@@ -1,0 +1,48 @@
+package baseline
+
+import (
+	"aamgo/internal/exec"
+)
+
+// Remote one-sided atomics in the style of PAMI_Rmw (BG/Q) and MPI-3 RMA
+// fetch-and-op (InfiniBand): the paper's Figure 5 baselines. Each
+// operation is a single message whose handler applies one atomic at the
+// target after the NIC/stack service cost (Profile.RemoteAtomicCost).
+
+// Remote atomic kinds.
+const (
+	RemoteCAS = iota
+	RemoteACC
+)
+
+// RemoteAtomics provides the handler and the client-side call.
+type RemoteAtomics struct {
+	h int
+}
+
+// Handlers splices the remote-atomic handler into existing.
+func (r *RemoteAtomics) Handlers(existing []exec.HandlerFunc) []exec.HandlerFunc {
+	r.h = len(existing)
+	return append(existing, func(ctx exec.Context, src int, payload []uint64) {
+		// [kind, addr, a, b]: CAS(addr, a, b) or FetchAdd(addr, a).
+		ctx.Compute(ctx.Profile().RemoteAtomicCost)
+		kind, addr := payload[0], int(payload[1])
+		switch kind {
+		case RemoteCAS:
+			ctx.CAS(addr, payload[2], payload[3])
+		case RemoteACC:
+			ctx.FetchAdd(addr, payload[2])
+		}
+	})
+}
+
+// CAS issues a one-sided remote compare-and-swap (fire-and-forget; the
+// paper's microbenchmarks measure throughput, not fetched values).
+func (r *RemoteAtomics) CAS(ctx exec.Context, node, addr int, old, new uint64) {
+	ctx.Send(node, r.h, []uint64{RemoteCAS, uint64(addr), old, new})
+}
+
+// ACC issues a one-sided remote accumulate.
+func (r *RemoteAtomics) ACC(ctx exec.Context, node, addr int, delta uint64) {
+	ctx.Send(node, r.h, []uint64{RemoteACC, uint64(addr), delta, 0})
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"aamgo/internal/baseline"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/vtime"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Real-world graph classes: AAM speedups over Graph500/Galois/HAMA",
+		Paper: "Table 1: CNs and WGs gain most on BG/Q (S up to 3.67 and " +
+			"1.91), RNs least; Haswell gains are smaller (M=2); graphs of " +
+			"one class share an optimum M; HAMA is 2–4 orders of magnitude " +
+			"slower.",
+		Run: runTab1,
+	})
+}
+
+// tab1BGQCandidates are the per-graph optimum-M search grid on BG/Q (the
+// paper finds class optima between 2 and 48).
+var tab1BGQCandidates = []int{8, 16, 24, 48, 80}
+
+// tab1HasCandidates mirror the paper's Haswell per-graph optima (2..9).
+var tab1HasCandidates = []int{2, 3, 4, 6, 9}
+
+func runTab1(o Options) *Report {
+	rep := &Report{}
+	// Downshift shrinks each graph by 2^downshift; Scale=7 reaches the
+	// original sizes.
+	ds := 8 - o.Scale
+	if ds < 0 {
+		ds = 0
+	} else if ds > 13 {
+		ds = 13
+	}
+	downshift := uint(ds)
+	bgq := exec.BGQ()
+	has := exec.HaswellC()
+	galoisProf := baseline.GaloisProfile(has)
+
+	t := rep.NewTable("Table 1 (S = speedup)",
+		"id", "class", "|V|", "|E|",
+		"bgq:S-g500(M=24)", "bgq:Mopt", "bgq:S-g500(opt)",
+		"has:S-g500(M=2)", "has:S-galois(M=2)", "has:Mopt", "has:S-g500(opt)", "has:S-hama")
+
+	classBestM := map[graph.GraphClass][]int{}
+	classSpeedup := map[graph.GraphClass][]float64{}
+	var hamaRatios []float64
+
+	for _, spec := range graph.Table1Specs {
+		ds := downshift
+		if spec.Class == graph.ClassRoad && ds >= 3 {
+			// Road networks live on their level widths: shrinking them as
+			// hard as the power-law graphs leaves ~1 frontier vertex per
+			// thread and the run degenerates to synchronization overhead.
+			ds -= 3
+		}
+		g := spec.Generate(ds, o.Seed)
+		src := maxDegVertex(g)
+
+		// BG/Q side.
+		bAtom := runBFS(o.Backend, bgq, g, 1, bgq.MaxThreads, g500Config(), src, o.Seed)
+		bFixed := runBFS(o.Backend, bgq, g, 1, bgq.MaxThreads,
+			aamBFSConfig(&bgq, "short", 24), src, o.Seed)
+		bOptM, bOptT := searchM(o, bgq, "short", g, src, bgq.MaxThreads, tab1BGQCandidates)
+
+		// Haswell side.
+		hAtom := runBFS(o.Backend, has, g, 1, has.MaxThreads, g500Config(), src, o.Seed)
+		hFixed := runBFS(o.Backend, has, g, 1, has.MaxThreads,
+			aamBFSConfig(&has, "rtm", 2), src, o.Seed)
+		hOptM, hOptT := searchM(o, has, "rtm", g, src, has.MaxThreads, tab1HasCandidates)
+		gal := runBFS(o.Backend, galoisProf, g, 1, has.MaxThreads,
+			baseline.GaloisBFSConfig(), src, o.Seed)
+		hama := runHAMA(o, has, g, src)
+
+		t.AddRow(spec.ID, string(spec.Class), itoa(g.N), fmt.Sprintf("%d", g.NumEdges()),
+			speedup(bAtom.Elapsed, bFixed.Elapsed), itoa(bOptM), speedup(bAtom.Elapsed, bOptT),
+			speedup(hAtom.Elapsed, hFixed.Elapsed), speedup(gal.Elapsed, hFixed.Elapsed),
+			itoa(hOptM), speedup(hAtom.Elapsed, hOptT), speedup(hama, hFixed.Elapsed))
+
+		classBestM[spec.Class] = append(classBestM[spec.Class], bOptM)
+		classSpeedup[spec.Class] = append(classSpeedup[spec.Class], speedupF(bAtom.Elapsed, bOptT))
+		hamaRatios = append(hamaRatios, speedupF(hama, hFixed.Elapsed))
+	}
+
+	// Per-class shape checks (Table 1 discussion).
+	avg := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	cn, rn, wg := avg(classSpeedup[graph.ClassCommunication]),
+		avg(classSpeedup[graph.ClassRoad]), avg(classSpeedup[graph.ClassWeb])
+	rep.Notef("mean BG/Q opt speedups per class: CN=%.2f WG=%.2f RN=%.2f", cn, wg, rn)
+	rep.Checkf(cn > rn, "CNs gain more than RNs", "CN %.2f vs RN %.2f", cn, rn)
+	rep.Checkf(wg > 1.0, "WGs speed up", "WG mean %.2f (paper: up to 1.91)", wg)
+
+	// Graphs of a class share similar optimum M (spread within the grid).
+	sameOpt := 0
+	for _, ms := range classBestM {
+		if len(ms) < 2 {
+			continue
+		}
+		spreadOK := true
+		for _, m := range ms {
+			if m > 4*ms[0] || ms[0] > 4*m {
+				spreadOK = false
+			}
+		}
+		if spreadOK {
+			sameOpt++
+		}
+	}
+	rep.Checkf(sameOpt >= 3, "classes share optimum M",
+		"%d of %d multi-graph classes have within-4x optima", sameOpt, len(classBestM))
+
+	minHama := hamaRatios[0]
+	for _, r := range hamaRatios {
+		if r < minHama {
+			minHama = r
+		}
+	}
+	rep.Checkf(minHama > 20, "HAMA far slower",
+		"min speedup over HAMA %.0f (paper: 344 to >10^4)", minHama)
+	return rep
+}
+
+// searchM finds the best coarsening factor among candidates; returns the
+// winner and its runtime.
+func searchM(o Options, prof exec.MachineProfile, variant string, g *graph.Graph,
+	src, T int, candidates []int) (int, vtime.Time) {
+	bestM, bestT := candidates[0], vtime.Time(0)
+	for i, m := range candidates {
+		r := runBFS(o.Backend, prof, g, 1, T, aamBFSConfig(&prof, variant, m), src, o.Seed)
+		if i == 0 || r.Elapsed < bestT {
+			bestM, bestT = m, r.Elapsed
+		}
+	}
+	return bestM, bestT
+}
+
+// runHAMA times the HAMA-like BSP baseline.
+func runHAMA(o Options, prof exec.MachineProfile, g *graph.Graph, src int) vtime.Time {
+	b := baseline.NewBSPBFS(g, baseline.DefaultBSPConfig())
+	m := machine(o.Backend, prof, 1, prof.MaxThreads, b.MemWords(), nil, o.Seed)
+	res := m.Run(b.Body(src))
+	return res.Elapsed
+}

@@ -1,0 +1,199 @@
+package gblas
+
+import (
+	"sort"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/vtime"
+)
+
+// Triangle counting, the GraphBLAS standard's showcase kernel: the count
+// is ⟨A ⊗ (A·A)⟩ restricted by the adjacency mask, which in push form is a
+// wedge-closure accumulation — for every edge (v,u) with v < u, add
+// |N(v) ∩ N(u) ∩ (u,∞)| to u's counter. Each accumulation runs as an AAM
+// activity over the plus-times (integer-plus) monoid, so the kernel
+// exercises the same coarsening/mechanism machinery as BFS and PageRank.
+
+// Triangles is a prepared triangle count. Construct with NewTriangles,
+// splice Handlers, size memory with MemWords, run Body SPMD, read Count
+// (total) or PerVertex.
+type Triangles struct {
+	G    *graph.Graph
+	Part graph.Partition
+
+	rt    *aam.Runtime
+	accOp int
+	eng   aam.Config
+
+	sorted [][]int32 // per-vertex sorted adjacency (host-side, immutable)
+
+	L     int
+	yBase int
+}
+
+// NewTriangles prepares the kernel over g distributed across nodes.
+func NewTriangles(g *graph.Graph, nodes int, eng aam.Config) *Triangles {
+	part := graph.NewPartition(g.N, nodes)
+	t := &Triangles{G: g, Part: part, eng: eng, L: part.MaxLocal()}
+	t.eng.Part = part
+
+	t.sorted = make([][]int32, g.N)
+	for v := 0; v < g.N; v++ {
+		n := g.Neighbors(v)
+		s := make([]int32, len(n))
+		copy(s, n)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		// Collapse duplicates (multi-edges must not inflate counts).
+		uniq := s[:0]
+		for i, w := range s {
+			if i == 0 || w != s[i-1] {
+				uniq = append(uniq, w)
+			}
+		}
+		t.sorted[v] = uniq
+	}
+
+	t.rt = aam.NewRuntime()
+	t.yBase = 0
+	t.accOp = t.rt.Register(&aam.Op{
+		Name:          "triangles-acc",
+		AlwaysSucceed: true,
+		Body: func(tx exec.Tx, e *aam.Engine, u int, arg uint64) (uint64, bool) {
+			tx.Write(t.yBase+u, tx.Read(t.yBase+u)+arg)
+			return 0, false
+		},
+		BodyAtomic: func(ctx exec.Context, e *aam.Engine, u int, arg uint64) (uint64, bool) {
+			ctx.FetchAdd(t.yBase+u, arg)
+			return 0, false
+		},
+	})
+	return t
+}
+
+// MemWords returns the per-node memory size.
+func (t *Triangles) MemWords() int { return t.L + t.L + 16 } // y + lock region
+
+// Handlers splices the runtime handlers.
+func (t *Triangles) Handlers(existing []exec.HandlerFunc) []exec.HandlerFunc {
+	return t.rt.Handlers(existing)
+}
+
+// closures returns |N(v) ∩ N(u) ∩ (u,∞)| by sorted merge.
+func (t *Triangles) closures(v, u int32) uint64 {
+	a, b := t.sorted[v], t.sorted[u]
+	// Skip to entries > u.
+	i := sort.Search(len(a), func(k int) bool { return a[k] > u })
+	j := sort.Search(len(b), func(k int) bool { return b[k] > u })
+	var n uint64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Body returns the SPMD body: each thread scans its slice of locally owned
+// vertices v, and for each edge (v,u) with v < u spawns the closure count
+// at u's owner.
+func (t *Triangles) Body() func(ctx exec.Context) {
+	return func(ctx exec.Context) {
+		cfg := t.eng
+		cfg.LockBase = t.L
+		eng := aam.NewEngine(t.rt, ctx, cfg)
+		me := ctx.NodeID()
+		glo, ghi := t.Part.Range(me)
+		n := ghi - glo
+		T := ctx.ThreadsPerNode()
+		lid := ctx.LocalID()
+		lo, hi := glo+lid*n/T, glo+(lid+1)*n/T
+		for v := lo; v < hi; v++ {
+			adj := t.sorted[v]
+			ctx.Compute(vtime.Time(len(adj)/2+1) * ctx.Profile().LoadCost)
+			for _, u := range adj {
+				if int32(v) >= u {
+					continue
+				}
+				c := t.closures(int32(v), u)
+				// Charge the merge scan against both adjacency lists.
+				ctx.Compute(vtime.Time((len(adj)+len(t.sorted[u]))/8+1) * ctx.Profile().LoadCost)
+				if c == 0 {
+					continue
+				}
+				eng.Spawn(t.accOp, int(u), c)
+			}
+		}
+		eng.Drain()
+	}
+}
+
+// PerVertex gathers the per-vertex wedge-closure counts; their sum is the
+// triangle count.
+func (t *Triangles) PerVertex(m exec.Machine) []uint64 {
+	out := make([]uint64, t.G.N)
+	for v := 0; v < t.G.N; v++ {
+		out[v] = m.Mem(t.Part.Owner(v))[t.yBase+t.Part.Local(v)]
+	}
+	return out
+}
+
+// Count gathers the total triangle count.
+func (t *Triangles) Count(m exec.Machine) uint64 {
+	var total uint64
+	for _, c := range t.PerVertex(m) {
+		total += c
+	}
+	return total
+}
+
+// SeqTriangles is the sequential reference: sorted-adjacency merge with
+// the same v < u < w orientation.
+func SeqTriangles(g *graph.Graph) uint64 {
+	sorted := make([][]int32, g.N)
+	for v := 0; v < g.N; v++ {
+		n := g.Neighbors(v)
+		s := make([]int32, len(n))
+		copy(s, n)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		uniq := s[:0]
+		for i, w := range s {
+			if i == 0 || w != s[i-1] {
+				uniq = append(uniq, w)
+			}
+		}
+		sorted[v] = uniq
+	}
+	var total uint64
+	for v := int32(0); v < int32(g.N); v++ {
+		for _, u := range sorted[v] {
+			if v >= u {
+				continue
+			}
+			a, b := sorted[v], sorted[u]
+			i := sort.Search(len(a), func(k int) bool { return a[k] > u })
+			j := sort.Search(len(b), func(k int) bool { return b[k] > u })
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					i++
+				case a[i] > b[j]:
+					j++
+				default:
+					total++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return total
+}

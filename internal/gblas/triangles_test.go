@@ -1,0 +1,98 @@
+package gblas_test
+
+import (
+	"testing"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/gblas"
+	"aamgo/internal/graph"
+)
+
+func runTriangles(t *testing.T, g *graph.Graph, nodes, threads int, eng aam.Config) uint64 {
+	t.Helper()
+	tr := gblas.NewTriangles(g, nodes, eng)
+	m := machineFor(tr, nodes, threads, 21)
+	m.Run(tr.Body())
+	return tr.Count(m)
+}
+
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestTrianglesKnownGraphs(t *testing.T) {
+	// K4 has C(4,3)=4 triangles; K5 has 10; a 4-cycle has none.
+	if got := gblas.SeqTriangles(completeGraph(4)); got != 4 {
+		t.Fatalf("K4 reference = %d, want 4", got)
+	}
+	if got := runTriangles(t, completeGraph(4), 1, 2, htmEngine()); got != 4 {
+		t.Fatalf("K4 = %d, want 4", got)
+	}
+	if got := runTriangles(t, completeGraph(5), 1, 4, htmEngine()); got != 10 {
+		t.Fatalf("K5 = %d, want 10", got)
+	}
+	cycle := graph.NewBuilder(4)
+	for i := int32(0); i < 4; i++ {
+		cycle.AddEdge(i, (i+1)%4)
+	}
+	if got := runTriangles(t, cycle.Build(), 1, 2, htmEngine()); got != 0 {
+		t.Fatalf("C4 = %d, want 0", got)
+	}
+}
+
+func TestTrianglesMatchReferenceOnKronecker(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := graph.Kronecker(9, 8, seed)
+		want := gblas.SeqTriangles(g)
+		got := runTriangles(t, g, 1, 8, htmEngine())
+		if got != want {
+			t.Fatalf("seed %d: %d triangles, reference %d", seed, got, want)
+		}
+	}
+}
+
+func TestTrianglesDistributed(t *testing.T) {
+	g := graph.Kronecker(9, 8, 4)
+	want := gblas.SeqTriangles(g)
+	got := runTriangles(t, g, 4, 4, aam.Config{M: 8, C: 32, Mechanism: aam.MechHTM})
+	if got != want {
+		t.Fatalf("distributed: %d triangles, reference %d", got, want)
+	}
+}
+
+func TestTrianglesAcrossMechanisms(t *testing.T) {
+	g := graph.Kronecker(8, 8, 5)
+	want := gblas.SeqTriangles(g)
+	for _, mech := range []aam.Mechanism{
+		aam.MechHTM, aam.MechAtomic, aam.MechLock,
+		aam.MechOptimistic, aam.MechFlatCombining,
+	} {
+		got := runTriangles(t, g, 1, 4, aam.Config{M: 8, Mechanism: mech})
+		if got != want {
+			t.Fatalf("%v: %d triangles, reference %d", mech, got, want)
+		}
+	}
+}
+
+func TestTrianglesMultiEdgesDoNotInflate(t *testing.T) {
+	// Duplicate edges of a single triangle must still count exactly one.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	if got := gblas.SeqTriangles(g); got != 1 {
+		t.Fatalf("reference with multi-edges = %d, want 1", got)
+	}
+	if got := runTriangles(t, g, 1, 1, htmEngine()); got != 1 {
+		t.Fatalf("multi-edge triangle = %d, want 1", got)
+	}
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadAuto sniffs the stream's format — the binary magic, a METIS header
+// (a line of two/three integers), or the default edge list — and parses
+// accordingly. The reader is buffered internally; the whole stream is
+// consumed.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(4)
+	if err == nil && string(head) == binMagic {
+		return ReadBinary(br)
+	}
+
+	// Distinguish METIS from an edge list without consuming: both are
+	// text; METIS starts (after % comments) with "n m [fmt]" and its
+	// first data line lists 1-indexed neighbors, while edge lists start
+	// with "# ..." comments or "u v" pairs. The reliable tell: edge lists
+	// use '#' comments, METIS uses '%'; and a METIS header's first line
+	// has 2–3 integer fields where an aamgo/SNAP edge list's first
+	// non-comment line has exactly 2 (ambiguous) — so peek further: a
+	// METIS file has exactly n+1 non-comment lines, an edge list has one
+	// line per edge. We settle it cheaply: '%' implies METIS, '#' implies
+	// edge list, and otherwise we try METIS first and fall back.
+	peek, _ := br.Peek(1 << 16)
+	trimmed := strings.TrimLeft(string(peek), " \t\r\n")
+	switch {
+	case strings.HasPrefix(trimmed, "%"):
+		return ReadMETIS(br)
+	case strings.HasPrefix(trimmed, "#"):
+		return ReadEdgeList(br)
+	}
+
+	// No comment marker: buffer the full stream and try METIS, then the
+	// edge list.
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, br); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	if g, err := ReadMETIS(bytes.NewReader(data)); err == nil {
+		return g, nil
+	}
+	g, err := ReadEdgeList(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("graph: input matches neither binary, METIS nor edge-list format: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadAutoDetectsAllFormats(t *testing.T) {
+	g := Kronecker(7, 6, 9)
+
+	var bin, edges, metis bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&edges, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMETIS(&metis, g); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, buf := range map[string]*bytes.Buffer{
+		"binary": &bin, "edges": &edges, "metis": &metis,
+	} {
+		back, err := ReadAuto(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalGraphs(g, back) {
+			t.Fatalf("%s: auto-detected round trip changed the graph", name)
+		}
+	}
+}
+
+func TestReadAutoMETISWithComment(t *testing.T) {
+	in := "% a metis file\n3 2\n2\n1 3\n2\n"
+	g, err := ReadAuto(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got %d vertices, %d arcs", g.N, g.NumEdges())
+	}
+}
+
+func TestReadAutoRejectsGarbage(t *testing.T) {
+	if _, err := ReadAuto(strings.NewReader("not a graph at all\n!!!\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package graph provides the compressed-sparse-row graph representation,
+// synthetic generators for every graph family used in the paper's
+// evaluation (Kronecker/Graph500, Erdős–Rényi, and structural proxies for
+// the SNAP real-world graphs of Table 1), edge-list I/O, and the
+// one-dimensional partitioning scheme of §3.1.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an adjacency structure in CSR form. For undirected graphs each
+// edge is stored in both directions.
+type Graph struct {
+	N       int     // number of vertices
+	Offsets []int64 // len N+1; adjacency of v is Adj[Offsets[v]:Offsets[v+1]]
+	Adj     []int32
+	// Weights, when non-nil, parallels Adj (used by Boruvka/SSSP).
+	Weights  []uint32
+	Directed bool
+}
+
+// NumEdges returns the number of stored arcs (2× logical edges for
+// undirected graphs).
+func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the adjacency slice of v (do not modify).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// EdgeWeights returns the weight slice parallel to Neighbors(v).
+func (g *Graph) EdgeWeights(v int) []uint32 {
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// AvgDegree returns the paper's d̄ = |arcs| / |V|.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(g.N)
+}
+
+// MaxDegree returns the largest out-degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns counts bucketed by floor(log2(degree+1)).
+func (g *Graph) DegreeHistogram() []int64 {
+	var hist []int64
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		b := 0
+		for x := d + 1; x > 1; x >>= 1 {
+			b++
+		}
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}
+
+// Validate checks structural invariants and returns an error describing the
+// first violation.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets len %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+	}
+	if g.Offsets[g.N] != int64(len(g.Adj)) {
+		return fmt.Errorf("graph: offsets[N] = %d, want %d", g.Offsets[g.N], len(g.Adj))
+	}
+	for i, w := range g.Adj {
+		if int(w) < 0 || int(w) >= g.N {
+			return fmt.Errorf("graph: adj[%d] = %d out of range", i, w)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Adj) {
+		return fmt.Errorf("graph: weights len %d, adj len %d", len(g.Weights), len(g.Adj))
+	}
+	return nil
+}
+
+// Edge is one endpoint pair used during construction and I/O.
+type Edge struct {
+	U, V int32
+}
+
+// Builder accumulates an edge list and produces a CSR graph.
+type Builder struct {
+	n          int
+	edges      []Edge
+	directed   bool
+	dedup      bool
+	selfLoops  bool
+	withWeight func(u, v int32) uint32
+}
+
+// NewBuilder returns a Builder for n vertices. By default the graph is
+// undirected (each edge stored both ways), self-loops are dropped, and
+// parallel edges are kept (as in the Graph500 generator).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// Directed makes the builder store arcs exactly as added.
+func (b *Builder) Directed() *Builder { b.directed = true; return b }
+
+// Dedup removes parallel edges during Build.
+func (b *Builder) Dedup() *Builder { b.dedup = true; return b }
+
+// KeepSelfLoops retains self-loops (dropped by default).
+func (b *Builder) KeepSelfLoops() *Builder { b.selfLoops = true; return b }
+
+// WithWeights attaches a deterministic weight function evaluated per arc.
+func (b *Builder) WithWeights(f func(u, v int32) uint32) *Builder {
+	b.withWeight = f
+	return b
+}
+
+// AddEdge appends an edge. Endpoints out of range panic.
+func (b *Builder) AddEdge(u, v int32) {
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// NumAdded returns the number of edges added so far.
+func (b *Builder) NumAdded() int { return len(b.edges) }
+
+// Build produces the CSR graph via counting sort.
+func (b *Builder) Build() *Graph {
+	type arc struct{ u, v int32 }
+	arcs := make([]arc, 0, len(b.edges)*2)
+	for _, e := range b.edges {
+		if e.U == e.V && !b.selfLoops {
+			continue
+		}
+		arcs = append(arcs, arc{e.U, e.V})
+		if !b.directed {
+			arcs = append(arcs, arc{e.V, e.U})
+		}
+	}
+	if b.dedup {
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].u != arcs[j].u {
+				return arcs[i].u < arcs[j].u
+			}
+			return arcs[i].v < arcs[j].v
+		})
+		uniq := arcs[:0]
+		for i, a := range arcs {
+			if i == 0 || a != arcs[i-1] {
+				uniq = append(uniq, a)
+			}
+		}
+		arcs = uniq
+	}
+
+	g := &Graph{N: b.n, Directed: b.directed}
+	g.Offsets = make([]int64, b.n+1)
+	for _, a := range arcs {
+		g.Offsets[a.u+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.Offsets[v+1] += g.Offsets[v]
+	}
+	g.Adj = make([]int32, len(arcs))
+	cursor := make([]int64, b.n)
+	for _, a := range arcs {
+		pos := g.Offsets[a.u] + cursor[a.u]
+		g.Adj[pos] = a.v
+		cursor[a.u]++
+	}
+	if b.withWeight != nil {
+		g.Weights = make([]uint32, len(g.Adj))
+		for v := 0; v < b.n; v++ {
+			base := g.Offsets[v]
+			for i, w := range g.Neighbors(v) {
+				g.Weights[base+int64(i)] = b.withWeight(int32(v), w)
+			}
+		}
+	}
+	return g
+}
+
+// SymmetricWeight is a weight function usable with WithWeights that gives
+// the same weight to both directions of an undirected edge and avoids
+// ties almost surely (required for Boruvka's correctness).
+func SymmetricWeight(seed uint64) func(u, v int32) uint32 {
+	return func(u, v int32) uint32 {
+		a, b := uint64(u), uint64(v)
+		if a > b {
+			a, b = b, a
+		}
+		h := mix64(a*0x9E3779B97F4A7C15 ^ b*0xC2B2AE3D27D4EB4F ^ seed)
+		// Keep weights positive.
+		return uint32(h%0xFFFFFFFE) + 1
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}

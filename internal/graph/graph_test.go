@@ -1,0 +1,346 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderCSRBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 6 { // undirected: 3 edges -> 6 arcs
+		t.Fatalf("arcs = %d, want 6", g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(1), g.Degree(0))
+	}
+	found := false
+	for _, w := range g.Neighbors(1) {
+		if w == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("neighbor 2 of 1 missing")
+	}
+}
+
+func TestBuilderDirectedAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3).Directed()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1) // self-loop dropped by default
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("arcs = %d, want 1", g.NumEdges())
+	}
+	b2 := NewBuilder(3).Directed().KeepSelfLoops()
+	b2.AddEdge(1, 1)
+	if g2 := b2.Build(); g2.NumEdges() != 1 {
+		t.Fatalf("self-loop not kept")
+	}
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(3).Dedup()
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.Build()
+	if g.NumEdges() != 2 { // one undirected edge
+		t.Fatalf("arcs = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestSymmetricWeights(t *testing.T) {
+	b := NewBuilder(4).WithWeights(SymmetricWeight(1))
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	w01 := g.EdgeWeights(0)[0]
+	w10 := g.EdgeWeights(1)[0]
+	if w01 != w10 {
+		t.Fatalf("weights asymmetric: %d vs %d", w01, w10)
+	}
+	if w01 == 0 {
+		t.Fatal("weight must be positive")
+	}
+}
+
+func TestKroneckerShape(t *testing.T) {
+	g := Kronecker(10, 8, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// 8*1024 generated edges, stored both directions, minus self-loops.
+	if g.NumEdges() < 12000 || g.NumEdges() > 16384 {
+		t.Fatalf("arcs = %d out of expected range", g.NumEdges())
+	}
+	// Power law: max degree far above the average.
+	if g.MaxDegree() < 4*int(g.AvgDegree()) {
+		t.Fatalf("no skew: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestKroneckerDeterminism(t *testing.T) {
+	a := Kronecker(8, 4, 7)
+	b := Kronecker(8, 4, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatal("same seed produced different adjacency")
+		}
+	}
+	c := Kronecker(8, 4, 8)
+	same := a.NumEdges() == c.NumEdges()
+	if same {
+		for i := range a.Adj {
+			if a.Adj[i] != c.Adj[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	n, p := 2000, 0.004
+	g := ErdosRenyi(n, p, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges()) / 2
+	if got < 0.8*want || got > 1.2*want {
+		t.Fatalf("edges = %.0f, want ≈ %.0f", got, want)
+	}
+}
+
+func TestErdosRenyiNoDuplicatePairs(t *testing.T) {
+	g := ErdosRenyi(300, 0.02, 5)
+	seen := map[[2]int32]bool{}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v == int32(u) {
+				t.Fatal("self loop")
+			}
+			k := [2]int32{int32(u), v}
+			if seen[k] {
+				t.Fatalf("duplicate arc %v", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestRoadGridShape(t *testing.T) {
+	g := RoadGrid(50, 40, 0.05, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.AvgDegree() < 2 || g.AvgDegree() > 5 {
+		t.Fatalf("road avg degree = %.2f, want 2..5", g.AvgDegree())
+	}
+	if g.MaxDegree() > 10 {
+		t.Fatalf("road max degree = %d, too high", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertSkew(t *testing.T) {
+	g := BarabasiAlbert(4000, 4, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() < 8*int(g.AvgDegree()) {
+		t.Fatalf("BA graph not skewed: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestHubSpokeSkew(t *testing.T) {
+	g := HubSpoke(5000, 5, 2, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed {
+		t.Fatal("hub-spoke should be directed")
+	}
+	// In-degree skew: hub 0 should receive a large share. Compute
+	// in-degrees by scanning arcs.
+	indeg := make([]int, g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			indeg[v]++
+		}
+	}
+	if indeg[0] < g.N/4 {
+		t.Fatalf("hub 0 in-degree = %d, want >= n/4", indeg[0])
+	}
+}
+
+func TestCitationDAGIsAcyclic(t *testing.T) {
+	g := CitationDAG(2000, 4, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v >= int32(u) {
+				t.Fatalf("citation edge %d->%d not backward", u, v)
+			}
+		}
+	}
+}
+
+func TestCommunityClusters(t *testing.T) {
+	g := Community(1000, 50, 6, 0.1, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Most arcs should stay within the cluster.
+	intra, total := 0, 0
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			total++
+			if u/50 == int(v)/50 {
+				intra++
+			}
+		}
+	}
+	if float64(intra) < 0.6*float64(total) {
+		t.Fatalf("intra-cluster share = %d/%d, want >= 60%%", intra, total)
+	}
+}
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	f := func(nRaw, nodesRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		nodes := int(nodesRaw%17) + 1
+		p := NewPartition(n, nodes)
+		// Every vertex owned exactly once, ranges tile [0,n).
+		covered := 0
+		for node := 0; node < nodes; node++ {
+			lo, hi := p.Range(node)
+			for v := lo; v < hi; v++ {
+				if p.Owner(v) != node {
+					return false
+				}
+				if p.Global(node, p.Local(v)) != v {
+					return false
+				}
+				covered++
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := Kronecker(7, 4, 21)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: N %d->%d arcs %d->%d", g.N, g2.N, g.NumEdges(), g2.NumEdges())
+	}
+	// Degrees must survive the round trip.
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree of %d changed: %d -> %d", v, g.Degree(v), g2.Degree(v))
+		}
+	}
+}
+
+func TestEdgeListWeightsRoundTrip(t *testing.T) {
+	b := NewBuilder(5).WithWeights(SymmetricWeight(3))
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Weights == nil {
+		t.Fatal("weights lost")
+	}
+	if g.EdgeWeights(0)[0] != g2.EdgeWeights(0)[0] {
+		t.Fatal("weight value changed")
+	}
+}
+
+func TestReadSNAPStyle(t *testing.T) {
+	in := "# Directed graph (each unordered pair of nodes is saved once)\n0 1\n1 2\n2 0\n"
+	g, err := ReadEdgeList(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 6 {
+		t.Fatalf("SNAP parse: N=%d arcs=%d", g.N, g.NumEdges())
+	}
+}
+
+func TestTable1SpecsGenerate(t *testing.T) {
+	for _, s := range Table1Specs {
+		g := s.Generate(8, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if g.N < 256 {
+			t.Fatalf("%s: too small (%d)", s.ID, g.N)
+		}
+	}
+}
+
+func TestSpecByID(t *testing.T) {
+	s, err := SpecByID("rCA")
+	if err != nil || s.Name != "roadNet-CA" {
+		t.Fatalf("SpecByID: %+v %v", s, err)
+	}
+	if _, err := SpecByID("nope"); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(3).Directed()
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	h := g.DegreeHistogram()
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("histogram covers %d vertices, want 3", total)
+	}
+}

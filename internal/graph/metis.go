@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS .graph format support (the de-facto interchange format of the
+// partitioning world, accepted by Galois and many graph engines): a header
+// line "n m [fmt]" followed by one line per vertex listing its 1-indexed
+// neighbors, with interleaved edge weights when fmt ends in 1. Undirected
+// only — METIS requires each edge to appear in both endpoint lists.
+
+// WriteMETIS writes g in METIS .graph format. Directed graphs are
+// rejected; multi-edges are emitted as-is (METIS tools tolerate them).
+func WriteMETIS(w io.Writer, g *Graph) error {
+	if g.Directed {
+		return fmt.Errorf("graph: METIS format is undirected")
+	}
+	bw := bufio.NewWriter(w)
+	m := g.NumEdges() / 2 // stored arcs are 2x logical edges
+	format := "0"
+	if g.Weights != nil {
+		format = "001"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %s\n", g.N, m, format); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		base := g.Offsets[v]
+		for i, u := range g.Neighbors(v) {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d", u+1); err != nil {
+				return err
+			}
+			if g.Weights != nil {
+				if _, err := fmt.Fprintf(bw, " %d", g.Weights[base+int64(i)]); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS .graph file. Supported fmt codes: absent, "0",
+// "1"/"001" (edge weights); vertex weights ("10"/"11"/"011") are rejected.
+// Comment lines start with '%'.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Header.
+	var n, m int
+	edgeWeights := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: METIS header needs 'n m [fmt]', got %q", line)
+		}
+		var err error
+		if n, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("graph: METIS header n: %v", err)
+		}
+		if m, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("graph: METIS header m: %v", err)
+		}
+		if len(f) >= 3 {
+			switch strings.TrimLeft(f[2], "0") {
+			case "":
+				// "0", "00", ... : no weights
+			case "1":
+				if strings.HasSuffix(f[2], "1") && !strings.HasSuffix(f[2], "11") {
+					edgeWeights = true
+				} else {
+					return nil, fmt.Errorf("graph: METIS fmt %q (vertex weights) unsupported", f[2])
+				}
+			default:
+				return nil, fmt.Errorf("graph: METIS fmt %q unsupported", f[2])
+			}
+		}
+		break
+	}
+
+	type arcW struct {
+		u, v int32
+		w    uint32
+	}
+	var arcs []arcW
+	v := int32(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		if int(v) >= n {
+			if line != "" {
+				return nil, fmt.Errorf("graph: METIS has more than %d vertex lines", n)
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		step := 1
+		if edgeWeights {
+			step = 2
+		}
+		if len(f)%step != 0 {
+			return nil, fmt.Errorf("graph: METIS vertex %d: odd token count with edge weights", v+1)
+		}
+		for i := 0; i < len(f); i += step {
+			u64, err := strconv.ParseInt(f[i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: METIS vertex %d: %v", v+1, err)
+			}
+			u := int32(u64) - 1 // 1-indexed
+			if u < 0 || int(u) >= n {
+				return nil, fmt.Errorf("graph: METIS vertex %d: neighbor %d out of range", v+1, u64)
+			}
+			var wgt uint32
+			if edgeWeights {
+				w64, err := strconv.ParseUint(f[i+1], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: METIS vertex %d: weight: %v", v+1, err)
+				}
+				wgt = uint32(w64)
+			}
+			arcs = append(arcs, arcW{u: v, v: u, w: wgt})
+		}
+		v++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if int(v) != n {
+		return nil, fmt.Errorf("graph: METIS has %d vertex lines, header says %d", v, n)
+	}
+	if len(arcs) != 2*m {
+		return nil, fmt.Errorf("graph: METIS lists %d arcs, header says %d edges", len(arcs), m)
+	}
+
+	// Each undirected edge appears in both lists; keep the u<v copy
+	// (METIS disallows self-loops; any present are dropped).
+	wmap := make(map[[2]int32]uint32, m)
+	b := NewBuilder(n)
+	for _, a := range arcs {
+		if a.u >= a.v {
+			continue
+		}
+		b.AddEdge(a.u, a.v)
+		if edgeWeights {
+			wmap[[2]int32{a.u, a.v}] = a.w
+		}
+	}
+	if edgeWeights {
+		b.WithWeights(func(x, y int32) uint32 {
+			if x > y {
+				x, y = y, x
+			}
+			return wmap[[2]int32{x, y}]
+		})
+	}
+	return b.Build(), nil
+}
+
+// Binary CSR format: a compact, mmap-friendly on-disk representation used
+// for large inputs where text parsing dominates load time.
+//
+//	magic "AAMG" | version u32 | flags u32 (1=directed, 2=weighted)
+//	n u64 | arcs u64 | offsets (n+1)×u64 | adj arcs×u32 | weights arcs×u32
+//
+// All fields are little-endian.
+
+const (
+	binMagic   = "AAMG"
+	binVersion = 1
+
+	binFlagDirected = 1 << 0
+	binFlagWeighted = 1 << 1
+)
+
+// WriteBinary writes g in the binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	flags := uint32(0)
+	if g.Directed {
+		flags |= binFlagDirected
+	}
+	if g.Weights != nil {
+		flags |= binFlagWeighted
+	}
+	for _, v := range []uint32{binVersion, flags} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	arcs := uint64(len(g.Adj))
+	for _, v := range []uint64{uint64(g.N), arcs} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	offs := make([]uint64, len(g.Offsets))
+	for i, o := range g.Offsets {
+		offs[i] = uint64(o)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, offs); err != nil {
+		return err
+	}
+	adj := make([]uint32, len(g.Adj))
+	for i, a := range g.Adj {
+		adj[i] = uint32(a)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, adj); err != nil {
+		return err
+	}
+	if g.Weights != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary CSR format, validating structure (monotone
+// offsets, in-range adjacency).
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: binary magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("graph: binary version %d unsupported", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	var n, arcs uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
+		return nil, err
+	}
+	const maxVerts = 1 << 31
+	if n > maxVerts || arcs > 1<<40 {
+		return nil, fmt.Errorf("graph: binary header implausible (n=%d, arcs=%d)", n, arcs)
+	}
+	g := &Graph{N: int(n), Directed: flags&binFlagDirected != 0}
+	offs := make([]uint64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offs); err != nil {
+		return nil, fmt.Errorf("graph: binary offsets: %w", err)
+	}
+	g.Offsets = make([]int64, n+1)
+	for i, o := range offs {
+		if o > arcs || (i > 0 && o < offs[i-1]) {
+			return nil, fmt.Errorf("graph: binary offsets not monotone at %d", i)
+		}
+		g.Offsets[i] = int64(o)
+	}
+	if offs[n] != arcs {
+		return nil, fmt.Errorf("graph: binary offsets end at %d, want %d", offs[n], arcs)
+	}
+	adj := make([]uint32, arcs)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, fmt.Errorf("graph: binary adjacency: %w", err)
+	}
+	g.Adj = make([]int32, arcs)
+	for i, a := range adj {
+		if uint64(a) >= n {
+			return nil, fmt.Errorf("graph: binary adjacency %d out of range", a)
+		}
+		g.Adj[i] = int32(a)
+	}
+	if flags&binFlagWeighted != 0 {
+		g.Weights = make([]uint32, arcs)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, fmt.Errorf("graph: binary weights: %w", err)
+		}
+	}
+	return g, nil
+}

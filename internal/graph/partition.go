@@ -1,0 +1,60 @@
+package graph
+
+// Partition implements the one-dimensional block distribution of §3.1: V is
+// divided into N contiguous subsets V_i, and process p_i owns every vertex
+// in V_i together with its outgoing edges.
+type Partition struct {
+	N     int // vertices
+	Nodes int
+	block int // ceil(N/Nodes)
+}
+
+// NewPartition builds a 1-D partition of n vertices over nodes nodes.
+func NewPartition(n, nodes int) Partition {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return Partition{N: n, Nodes: nodes, block: (n + nodes - 1) / nodes}
+}
+
+// Owner returns the node owning global vertex v.
+func (p Partition) Owner(v int) int {
+	if p.block == 0 {
+		return 0
+	}
+	o := v / p.block
+	if o >= p.Nodes {
+		o = p.Nodes - 1
+	}
+	return o
+}
+
+// Range returns the [lo, hi) global-vertex range owned by node.
+func (p Partition) Range(node int) (lo, hi int) {
+	lo = node * p.block
+	hi = lo + p.block
+	if lo > p.N {
+		lo = p.N
+	}
+	if hi > p.N {
+		hi = p.N
+	}
+	return lo, hi
+}
+
+// Local converts a global vertex id to the owner-local index.
+func (p Partition) Local(v int) int {
+	if p.block == 0 {
+		return v
+	}
+	return v - p.Owner(v)*p.block
+}
+
+// Global converts (node, local index) back to the global id.
+func (p Partition) Global(node, local int) int {
+	return node*p.block + local
+}
+
+// MaxLocal returns the largest per-node vertex count (the block size),
+// which callers use to size per-node memory regions uniformly.
+func (p Partition) MaxLocal() int { return p.block }

@@ -1,0 +1,134 @@
+package htm
+
+import (
+	"math/rand"
+	"testing"
+
+	"aamgo/internal/exec"
+	"aamgo/internal/stats"
+)
+
+func rtmProfile() *exec.HTMProfile {
+	p := exec.HaswellC()
+	return p.HTMVariant("rtm")
+}
+
+func TestTxSetReadWriteBookkeeping(t *testing.T) {
+	s := NewTxSet(rtmProfile())
+	if _, ok := s.LookupWrite(5); ok {
+		t.Fatal("empty set must have no buffered writes")
+	}
+	if nl, ok := s.NoteWrite(5, 42); !ok || nl != 1 {
+		t.Fatalf("first write: (%d,%v)", nl, ok)
+	}
+	if v, ok := s.LookupWrite(5); !ok || v != 42 {
+		t.Fatalf("LookupWrite = (%d,%v)", v, ok)
+	}
+	// Overwrite folds in place, no new line.
+	if nl, _ := s.NoteWrite(5, 43); nl != 0 {
+		t.Fatal("overwrite must not add a line")
+	}
+	if len(s.Writes()) != 1 || s.Writes()[0].Val != 43 {
+		t.Fatalf("writes = %+v", s.Writes())
+	}
+	// Reads dedupe.
+	s.NoteRead(100)
+	s.NoteRead(100)
+	if len(s.Reads()) != 1 {
+		t.Fatalf("reads = %v", s.Reads())
+	}
+}
+
+func TestTxSetCapacityOverflow(t *testing.T) {
+	p := *rtmProfile()
+	p.WriteGeo.MaxLines = 2
+	p.WriteGeo.Sets = 0
+	s := NewTxSet(&p)
+	if _, ok := s.NoteWrite(0, 1); !ok {
+		t.Fatal("line 1 fits")
+	}
+	if _, ok := s.NoteWrite(8, 1); !ok {
+		t.Fatal("line 2 fits")
+	}
+	if _, ok := s.NoteWrite(16, 1); ok {
+		t.Fatal("line 3 must overflow")
+	}
+}
+
+func TestTxSetReset(t *testing.T) {
+	s := NewTxSet(rtmProfile())
+	s.NoteWrite(1, 2)
+	s.NoteRead(3)
+	s.NoteReadRange(64, 32)
+	s.Reset()
+	if len(s.Writes()) != 0 || len(s.Reads()) != 0 {
+		t.Fatal("reset left state")
+	}
+	r, w := s.Footprint()
+	if r != 0 || w != 0 {
+		t.Fatalf("footprint after reset = (%d,%d)", r, w)
+	}
+	if _, ok := s.LookupWrite(1); ok {
+		t.Fatal("write survived reset")
+	}
+}
+
+func TestNextActionRTM(t *testing.T) {
+	p := rtmProfile()
+	if a := NextAction(p, 1, stats.AbortConflict); a != ActBackoff {
+		t.Errorf("RTM conflict attempt 1: %v, want backoff", a)
+	}
+	if a := NextAction(p, 1, stats.AbortCapacity); a != ActSerialize {
+		t.Errorf("RTM capacity: %v, want serialize (no-retry hint)", a)
+	}
+	if a := NextAction(p, p.MaxRetries, stats.AbortConflict); a != ActSerialize {
+		t.Errorf("RTM at retry limit: %v, want serialize", a)
+	}
+}
+
+func TestNextActionHLE(t *testing.T) {
+	mp := exec.HaswellC()
+	p := mp.HTMVariant("hle")
+	if a := NextAction(p, 1, stats.AbortConflict); a != ActSerialize {
+		t.Errorf("HLE must serialize after first abort, got %v", a)
+	}
+}
+
+func TestNextActionBGQ(t *testing.T) {
+	mp := exec.BGQ()
+	p := mp.HTMVariant("short")
+	for attempt := 1; attempt < p.MaxRetries; attempt++ {
+		for _, r := range []stats.AbortReason{stats.AbortConflict, stats.AbortCapacity, stats.AbortOther} {
+			if a := NextAction(p, attempt, r); a != ActRetry {
+				t.Fatalf("BGQ attempt %d reason %v: %v, want retry", attempt, r, a)
+			}
+		}
+	}
+	if a := NextAction(p, p.MaxRetries, stats.AbortConflict); a != ActSerialize {
+		t.Errorf("BGQ at rollback limit: %v, want serialize", a)
+	}
+}
+
+func TestBackoffGrowsAndJitters(t *testing.T) {
+	p := rtmProfile()
+	rng := rand.New(rand.NewSource(1))
+	d1 := BackoffDelay(p, 1, rng)
+	d6 := BackoffDelay(p, 7, rng)
+	if d1 <= 0 {
+		t.Fatal("backoff must be positive")
+	}
+	if d6 < d1 {
+		t.Fatalf("backoff must grow: attempt1=%v attempt7=%v", d1, d6)
+	}
+	// Jitter: repeated draws differ.
+	same := true
+	prev := BackoffDelay(p, 3, rng)
+	for i := 0; i < 8; i++ {
+		if d := BackoffDelay(p, 3, rng); d != prev {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("backoff shows no jitter")
+	}
+}

@@ -1,0 +1,76 @@
+// Package perfmodel implements the paper's performance model (§5.3): the
+// time to execute an activity over N vertices is linear, T(N) = A·N + B,
+// with B_HTM > B_AT (transactional begin/commit overhead) and
+// A_HTM < A_AT (cheaper per-access growth), so coarse transactions
+// overtake atomics past a crossover point.
+package perfmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// Linear is a fitted model T(N) = A*N + B.
+type Linear struct {
+	A float64 // slope (cost per vertex)
+	B float64 // intercept (fixed overhead)
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// Fit least-squares fits y = A*x + B. It needs at least two distinct x.
+func Fit(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("perfmodel: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Linear{}, errors.New("perfmodel: need at least two samples")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Linear{}, errors.New("perfmodel: degenerate x values")
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+
+	// R².
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := a*xs[i] + b
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Linear{A: a, B: b, R2: r2}, nil
+}
+
+// Eval returns T(n).
+func (l Linear) Eval(n float64) float64 { return l.A*n + l.B }
+
+// Crossover solves A1·N+B1 = A2·N+B2 for N: the number of accessed
+// vertices beyond which the model with the smaller slope wins. Returns
+// +Inf when the lines never cross for positive N.
+func Crossover(atomics, htm Linear) float64 {
+	dA := atomics.A - htm.A
+	dB := htm.B - atomics.B
+	if dA <= 0 {
+		return math.Inf(1)
+	}
+	n := dB / dA
+	if n < 0 {
+		return 0
+	}
+	return n
+}

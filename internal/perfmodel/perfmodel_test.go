@@ -1,0 +1,119 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5*x + 2.25
+	}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-3.5) > 1e-9 || math.Abs(l.B-2.25) > 1e-9 {
+		t.Fatalf("fit = %+v, want A=3.5 B=2.25", l)
+	}
+}
+
+func TestFitRejectsDegenerateInput(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("vertical line accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Property: Fit recovers arbitrary non-degenerate lines from noise-free
+// samples (testing/quick drives random slopes/intercepts).
+func TestFitRecoveryProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(11)),
+	}
+	f := func(a, b float64, n uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e6 {
+			return true
+		}
+		pts := int(n%20) + 2
+		xs := make([]float64, pts)
+		ys := make([]float64, pts)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+			ys[i] = a*xs[i] + b
+		}
+		l, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		return math.Abs(l.A-a) < 1e-6*scale && math.Abs(l.B-b) < 1e-6*scale
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEval(t *testing.T) {
+	l := Linear{A: 2, B: 1}
+	if got := l.Eval(3); got != 7 {
+		t.Fatalf("Eval(3) = %f", got)
+	}
+}
+
+func TestCrossoverPosition(t *testing.T) {
+	// Atomics: 150 ns/vertex, no base cost. HTM: 26 ns/vertex, 800 ns
+	// base — the §5.3 scenario: crossing at 800/(150-26) ≈ 6.45.
+	at := Linear{A: 150, B: 0}
+	ht := Linear{A: 26, B: 800}
+	x := Crossover(at, ht)
+	if math.Abs(x-800.0/124.0) > 1e-9 {
+		t.Fatalf("crossover = %f", x)
+	}
+}
+
+func TestCrossoverParallelOrInverted(t *testing.T) {
+	// Parallel lines never cross: +Inf per the documented contract.
+	if x := Crossover(Linear{A: 1, B: 0}, Linear{A: 1, B: 5}); !math.IsInf(x, 1) {
+		t.Fatalf("parallel lines crossed at %f", x)
+	}
+	// HTM with smaller slope and smaller intercept wins everywhere:
+	// the crossover clamps to zero.
+	if x := Crossover(Linear{A: 5, B: 5}, Linear{A: 1, B: 1}); x != 0 {
+		t.Fatalf("dominated case crossover = %f, want 0", x)
+	}
+	// Atomics better everywhere (smaller slope): never crossed, +Inf.
+	if x := Crossover(Linear{A: 1, B: 1}, Linear{A: 5, B: 5}); !math.IsInf(x, 1) {
+		t.Fatalf("inverted case crossover = %f, want +Inf", x)
+	}
+}
+
+func TestFitWithNoiseStaysClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 10*xs[i] + 40 + rng.NormFloat64()*0.5
+	}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-10) > 0.1 || math.Abs(l.B-40) > 2 {
+		t.Fatalf("noisy fit drifted: %+v", l)
+	}
+}

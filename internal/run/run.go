@@ -1,0 +1,29 @@
+// Package run constructs machines by backend name, decoupling algorithm
+// and benchmark code from the concrete backend packages.
+package run
+
+import (
+	"fmt"
+
+	"aamgo/internal/exec"
+	"aamgo/internal/native"
+	"aamgo/internal/sim"
+)
+
+// Backend names.
+const (
+	Sim    = "sim"
+	Native = "native"
+)
+
+// New returns a fresh single-use machine of the given backend.
+func New(backend string, cfg exec.Config) exec.Machine {
+	switch backend {
+	case Sim, "":
+		return sim.New(cfg)
+	case Native:
+		return native.New(cfg)
+	default:
+		panic(fmt.Sprintf("run: unknown backend %q (want %q or %q)", backend, Sim, Native))
+	}
+}

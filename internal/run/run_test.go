@@ -1,0 +1,35 @@
+package run
+
+import (
+	"testing"
+
+	"aamgo/internal/exec"
+)
+
+func TestNewSelectsBackend(t *testing.T) {
+	cfg := exec.Config{Nodes: 1, ThreadsPerNode: 2, MemWords: 64}
+	for _, name := range []string{Sim, Native, ""} {
+		m := New(name, cfg)
+		if m == nil {
+			t.Fatalf("backend %q returned nil", name)
+		}
+		res := m.Run(func(ctx exec.Context) {
+			ctx.Store(ctx.GlobalID(), uint64(ctx.GlobalID())+1)
+		})
+		if res.PerThread == nil || len(res.PerThread) != 2 {
+			t.Fatalf("backend %q: per-thread stats missing", name)
+		}
+		if m.Mem(0)[0] != 1 || m.Mem(0)[1] != 2 {
+			t.Fatalf("backend %q: SPMD body effects missing", name)
+		}
+	}
+}
+
+func TestNewPanicsOnUnknownBackend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown backend accepted")
+		}
+	}()
+	New("cuda", exec.Config{})
+}

@@ -1,0 +1,171 @@
+// Package stats defines the event counters collected by both machine
+// backends. The taxonomy follows the paper's evaluation: transactions are
+// classified as committed, serialized (executed under the fallback path), or
+// aborted, and aborts are attributed to memory conflicts, HTM buffer
+// overflows (capacity/associativity), explicit user aborts, or other causes
+// (the paper's "context switches and other reasons caused by hardware/OS").
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AbortReason classifies why a hardware transaction aborted.
+type AbortReason int
+
+const (
+	// AbortConflict is a memory conflict with a concurrent transaction,
+	// atomic, or fallback-lock holder.
+	AbortConflict AbortReason = iota
+	// AbortCapacity is an HTM buffer overflow: the speculative read or
+	// write set exceeded cache capacity or set associativity.
+	AbortCapacity
+	// AbortExplicit is a user-initiated abort (May-Fail activity failing
+	// at the algorithm level).
+	AbortExplicit
+	// AbortOther stands for spurious aborts (interrupts, TLB shootdowns,
+	// unsupported instructions) modeled as a per-attempt probability.
+	AbortOther
+
+	// NumAbortReasons is the number of distinct abort reasons.
+	NumAbortReasons
+)
+
+// String returns a short human-readable name for the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	case AbortOther:
+		return "other"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Thread holds the counters of a single simulated or native thread.
+// Counters are written only by the owning thread while it runs and read
+// after the machine has quiesced, so no synchronization is needed.
+type Thread struct {
+	// Transactions.
+	TxStarted    uint64 // transactional regions entered (first attempts)
+	TxAttempts   uint64 // total attempts including retries
+	TxCommitted  uint64 // speculative commits
+	TxSerialized uint64 // executed under the fallback serialization path
+	TxUserFailed uint64 // regions that ended with an explicit user abort
+	Aborts       [NumAbortReasons]uint64
+	Retries      uint64 // re-executions after a hardware abort
+
+	// Plain memory operations.
+	AtomicOps uint64 // CAS + fetch-and-op
+	CASFail   uint64 // failed compare-and-swap
+	Loads     uint64
+	Stores    uint64
+
+	// Messaging.
+	MsgsSent      uint64 // network packets injected
+	MsgWords      uint64 // payload words sent
+	HandlersRun   uint64 // active-message handlers executed
+	OpsCoalesced  uint64 // operator invocations carried inside coalesced packets
+	RepliesSent   uint64 // Fire-and-Return replies
+	OwnershipCAS  uint64 // ownership-marker CAS operations (distributed txs)
+	OwnershipFail uint64 // ownership acquisition failures (backoffs)
+
+	// Runtime.
+	Barriers    uint64
+	OpsExecuted uint64 // graph operators executed (activities' work items)
+	LockAcqs    uint64 // lock acquisitions (lock mechanism / Galois baseline)
+	Supersteps  uint64 // BSP supersteps (HAMA baseline)
+
+	// Extension mechanisms (§7/§8 future work).
+	FlatCombined uint64 // operators executed by a combiner on another thread's behalf
+	LoweredOps   uint64 // single-operator activities lowered to atomics (§7 pass)
+}
+
+// TotalAborts sums hardware aborts over all reasons except explicit user
+// aborts, matching the paper's "aborts per data point" annotations.
+func (t *Thread) TotalAborts() uint64 {
+	return t.Aborts[AbortConflict] + t.Aborts[AbortCapacity] + t.Aborts[AbortOther]
+}
+
+// Add accumulates o into t.
+func (t *Thread) Add(o *Thread) {
+	t.TxStarted += o.TxStarted
+	t.TxAttempts += o.TxAttempts
+	t.TxCommitted += o.TxCommitted
+	t.TxSerialized += o.TxSerialized
+	t.TxUserFailed += o.TxUserFailed
+	for i := range t.Aborts {
+		t.Aborts[i] += o.Aborts[i]
+	}
+	t.Retries += o.Retries
+	t.AtomicOps += o.AtomicOps
+	t.CASFail += o.CASFail
+	t.Loads += o.Loads
+	t.Stores += o.Stores
+	t.MsgsSent += o.MsgsSent
+	t.MsgWords += o.MsgWords
+	t.HandlersRun += o.HandlersRun
+	t.OpsCoalesced += o.OpsCoalesced
+	t.RepliesSent += o.RepliesSent
+	t.OwnershipCAS += o.OwnershipCAS
+	t.OwnershipFail += o.OwnershipFail
+	t.Barriers += o.Barriers
+	t.OpsExecuted += o.OpsExecuted
+	t.LockAcqs += o.LockAcqs
+	t.Supersteps += o.Supersteps
+	t.FlatCombined += o.FlatCombined
+	t.LoweredOps += o.LoweredOps
+}
+
+// Reset zeroes all counters.
+func (t *Thread) Reset() { *t = Thread{} }
+
+// Total is the machine-wide aggregate of per-thread counters.
+type Total struct {
+	Thread
+}
+
+// Merge builds a Total from per-thread counters.
+func Merge(threads []Thread) Total {
+	var tot Total
+	for i := range threads {
+		tot.Add(&threads[i])
+	}
+	return tot
+}
+
+// OverflowShare returns the fraction of hardware aborts caused by buffer
+// overflows, as annotated in the paper's Figure 4 (Haswell percentages).
+func (t *Thread) OverflowShare() float64 {
+	a := t.TotalAborts()
+	if a == 0 {
+		return 0
+	}
+	return float64(t.Aborts[AbortCapacity]) / float64(a)
+}
+
+// SerializationShare returns the ratio of serializations to all hardware
+// aborts, as annotated in the paper's Figure 4 (BG/Q percentages).
+func (t *Thread) SerializationShare() float64 {
+	a := t.TotalAborts()
+	if a == 0 {
+		return 0
+	}
+	return float64(t.TxSerialized) / float64(a)
+}
+
+// String renders a compact single-line summary.
+func (t *Thread) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx=%d commit=%d serial=%d aborts[conflict=%d capacity=%d explicit=%d other=%d] atomics=%d msgs=%d handlers=%d",
+		t.TxStarted, t.TxCommitted, t.TxSerialized,
+		t.Aborts[AbortConflict], t.Aborts[AbortCapacity], t.Aborts[AbortExplicit], t.Aborts[AbortOther],
+		t.AtomicOps, t.MsgsSent, t.HandlersRun)
+	return b.String()
+}

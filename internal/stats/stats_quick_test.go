@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// fillSequential sets every uint64 field (and abort array element) of t to
+// a distinct non-zero value derived from base, via reflection, so a field
+// forgotten by Add cannot cancel out.
+func fillSequential(t *Thread, base uint64) {
+	v := reflect.ValueOf(t).Elem()
+	n := base
+	var walk func(reflect.Value)
+	walk = func(f reflect.Value) {
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(n)
+			n += base + 1
+		case reflect.Array:
+			for i := 0; i < f.Len(); i++ {
+				walk(f.Index(i))
+			}
+		}
+	}
+	for i := 0; i < v.NumField(); i++ {
+		walk(v.Field(i))
+	}
+}
+
+// sumFields returns the total of every uint64 field, recursing into the
+// abort array.
+func sumFields(t *Thread) uint64 {
+	v := reflect.ValueOf(t).Elem()
+	total := uint64(0)
+	var walk func(reflect.Value)
+	walk = func(f reflect.Value) {
+		switch f.Kind() {
+		case reflect.Uint64:
+			total += f.Uint()
+		case reflect.Array:
+			for i := 0; i < f.Len(); i++ {
+				walk(f.Index(i))
+			}
+		}
+	}
+	for i := 0; i < v.NumField(); i++ {
+		walk(v.Field(i))
+	}
+	return total
+}
+
+// TestAddCoversEveryField catches the classic maintenance bug: a counter
+// added to the struct but forgotten in Add. Every field of a+b must equal
+// the fieldwise sum, checked via reflection so new fields are covered
+// automatically.
+func TestAddCoversEveryField(t *testing.T) {
+	var a, b Thread
+	fillSequential(&a, 3)
+	fillSequential(&b, 1000)
+	wantSum := sumFields(&a) + sumFields(&b)
+	a.Add(&b)
+	if got := sumFields(&a); got != wantSum {
+		t.Fatalf("Add dropped counters: field sum %d, want %d — a field is missing from Add", got, wantSum)
+	}
+}
+
+// TestThreadHasOnlyCounterFields pins the Thread layout: every field must
+// be uint64 or an array of uint64, which is what the reflection-based Add
+// coverage (and the lock-free per-thread write discipline) assumes.
+func TestThreadHasOnlyCounterFields(t *testing.T) {
+	v := reflect.TypeOf(Thread{})
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		ok := f.Type.Kind() == reflect.Uint64 ||
+			(f.Type.Kind() == reflect.Array && f.Type.Elem().Kind() == reflect.Uint64)
+		if !ok {
+			t.Fatalf("field %s has kind %v; Thread must hold only uint64 counters", f.Name, f.Type.Kind())
+		}
+	}
+}
+
+// TestMergeIsAssociative checks Merge against pairwise Add on random
+// counter vectors.
+func TestMergeIsAssociative(t *testing.T) {
+	if err := quick.Check(func(x, y, z uint64) bool {
+		mk := func(seed uint64) Thread {
+			var th Thread
+			fillSequential(&th, seed%1_000_003+1)
+			return th
+		}
+		a, b, c := mk(x), mk(y), mk(z)
+		viaMerge := Merge([]Thread{a, b, c})
+		ab := a
+		ab.Add(&b)
+		ab.Add(&c)
+		return viaMerge.Thread == ab
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

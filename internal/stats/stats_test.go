@@ -1,0 +1,72 @@
+package stats
+
+import "testing"
+
+func TestAddAndMerge(t *testing.T) {
+	a := Thread{TxStarted: 3, TxCommitted: 2, AtomicOps: 10}
+	a.Aborts[AbortConflict] = 4
+	b := Thread{TxStarted: 1, TxCommitted: 1, AtomicOps: 5}
+	b.Aborts[AbortCapacity] = 2
+
+	tot := Merge([]Thread{a, b})
+	if tot.TxStarted != 4 || tot.TxCommitted != 3 || tot.AtomicOps != 15 {
+		t.Fatalf("merge wrong: %+v", tot)
+	}
+	if tot.Aborts[AbortConflict] != 4 || tot.Aborts[AbortCapacity] != 2 {
+		t.Fatalf("abort merge wrong: %+v", tot.Aborts)
+	}
+	if tot.TotalAborts() != 6 {
+		t.Fatalf("TotalAborts = %d, want 6", tot.TotalAborts())
+	}
+}
+
+func TestTotalAbortsExcludesExplicit(t *testing.T) {
+	var th Thread
+	th.Aborts[AbortExplicit] = 10
+	th.Aborts[AbortOther] = 1
+	if th.TotalAborts() != 1 {
+		t.Fatalf("TotalAborts = %d, want 1 (explicit aborts excluded)", th.TotalAborts())
+	}
+}
+
+func TestShares(t *testing.T) {
+	var th Thread
+	th.Aborts[AbortCapacity] = 3
+	th.Aborts[AbortConflict] = 1
+	th.TxSerialized = 2
+	if got := th.OverflowShare(); got != 0.75 {
+		t.Errorf("OverflowShare = %v, want 0.75", got)
+	}
+	if got := th.SerializationShare(); got != 0.5 {
+		t.Errorf("SerializationShare = %v, want 0.5", got)
+	}
+	var empty Thread
+	if empty.OverflowShare() != 0 || empty.SerializationShare() != 0 {
+		t.Error("shares of empty stats must be 0")
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	names := map[AbortReason]string{
+		AbortConflict: "conflict",
+		AbortCapacity: "capacity",
+		AbortExplicit: "explicit",
+		AbortOther:    "other",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	th := Thread{TxStarted: 5}
+	if th.String() == "" {
+		t.Error("String empty")
+	}
+	th.Reset()
+	if th.TxStarted != 0 {
+		t.Error("Reset did not zero")
+	}
+}

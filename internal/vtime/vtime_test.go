@@ -1,0 +1,43 @@
+package vtime
+
+import "testing"
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{12 * Microsecond, "12.000us"},
+		{3*Millisecond + 500*Microsecond, "3.500ms"},
+		{12 * Second, "12.000s"},
+		{-5 * Microsecond, "-5000ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if s := (1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", s)
+	}
+	if u := (2 * Microsecond).Micros(); u != 2 {
+		t.Errorf("Micros = %v, want 2", u)
+	}
+	if ms := (250 * Microsecond).Millis(); ms != 0.25 {
+		t.Errorf("Millis = %v, want 0.25", ms)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Error("Max wrong")
+	}
+	if Min(1, 2) != 1 || Min(3, 2) != 2 {
+		t.Error("Min wrong")
+	}
+}
