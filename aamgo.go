@@ -37,6 +37,7 @@ import (
 
 	"aamgo/internal/aam"
 	"aamgo/internal/algo"
+	"aamgo/internal/dyn"
 	"aamgo/internal/exec"
 	"aamgo/internal/graph"
 	"aamgo/internal/run"
@@ -385,6 +386,44 @@ func Components(g *Graph, c Config) ([]int32, RunInfo, error) {
 	res := m.Run(cc.Body(c.engine(&prof)))
 	return cc.Labels(m), info(res), nil
 }
+
+// Dynamic-graph subsystem (internal/dyn): a mutable graph whose edge
+// mutations execute as transactional AAM batches under any of the five
+// isolation mechanisms, with epoch-based immutable snapshots for concurrent
+// analytics readers and incrementally maintained connected components. The
+// aam-serve daemon (cmd/aam-serve) exposes it over HTTP.
+type (
+	// DynGraph is the mutable, concurrently updatable graph.
+	DynGraph = dyn.Graph
+	// DynSnapshot is an immutable epoch-stamped view of a DynGraph;
+	// Freeze() materializes it as a static Graph for the algorithms above.
+	DynSnapshot = dyn.Snapshot
+	// Mutation is one element of a transactional batch.
+	Mutation = dyn.Mutation
+	// DynTxConfig tunes the transactional phase of one mutation batch
+	// (mechanism, backend, machine profile, M/C).
+	DynTxConfig = dyn.TxConfig
+	// BatchResult reports one applied batch (applied/rejected counts,
+	// epoch, abort statistics).
+	BatchResult = dyn.BatchResult
+)
+
+// NewDynGraph wraps a static undirected graph for dynamic updates; the base
+// must not be mutated afterwards.
+func NewDynGraph(base *Graph) (*DynGraph, error) { return dyn.New(base) }
+
+// NewEmptyDynGraph returns a dynamic graph of n isolated vertices.
+func NewEmptyDynGraph(n int) *DynGraph { return dyn.NewEmpty(n) }
+
+// DynAddEdge returns a mutation inserting an undirected edge.
+func DynAddEdge(u, v int32) Mutation { return dyn.AddEdge(u, v) }
+
+// DynRemoveEdge returns a mutation deleting an undirected edge (and its
+// parallel copies).
+func DynRemoveEdge(u, v int32) Mutation { return dyn.RemoveEdge(u, v) }
+
+// DynAddVertex returns a mutation appending one isolated vertex.
+func DynAddVertex() Mutation { return dyn.AddVertex() }
 
 // Low-level re-exports for building custom operators on the AAM runtime;
 // see the examples directory for usage.

@@ -346,3 +346,36 @@ func TestLowerSingleFacade(t *testing.T) {
 		t.Fatalf("BFS mark lowered %d times; its footprint is multi-word", res.Stats.LoweredOps)
 	}
 }
+
+func TestDynGraphFacade(t *testing.T) {
+	g, err := aamgo.NewDynGraph(kron(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumArcs()
+	res, err := g.Apply([]aamgo.Mutation{
+		aamgo.DynAddVertex(),
+		aamgo.DynAddEdge(0, int32(g.N())), // wire the new vertex up
+	}, aamgo.DynTxConfig{Mechanism: aamgo.Optimistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.VerticesAdded != 1 {
+		t.Fatalf("unexpected batch result %+v", res)
+	}
+	if g.NumArcs() != before+2 {
+		t.Fatalf("arcs = %d, want %d", g.NumArcs(), before+2)
+	}
+	// The frozen snapshot runs the unchanged static algorithms.
+	f := g.Freeze()
+	bfs, err := aamgo.BFS(f, 0, aamgo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Parents[f.N-1] != 0 {
+		t.Fatalf("new vertex's BFS parent = %d, want 0", bfs.Parents[f.N-1])
+	}
+	if !g.SameComponent(0, int32(f.N-1)) {
+		t.Fatal("incremental CC missed the new edge")
+	}
+}

@@ -106,3 +106,8 @@ func BenchmarkAblationLowering(b *testing.B) {
 func BenchmarkAblationPredictM(b *testing.B) {
 	runExperiment(b, "abl-predict", -1)
 }
+
+// Streaming is the dynamic-graph extension (not a paper figure): mutation
+// throughput under all five isolation mechanisms plus mixed read/write
+// service throughput over snapshots.
+func BenchmarkStreaming(b *testing.B) { runExperiment(b, "streaming", 0) }

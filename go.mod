@@ -1,0 +1,3 @@
+module aamgo
+
+go 1.24

@@ -22,6 +22,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"fig7c-pr-nodes", "fig7d-pr-threads", "fig7e-pr-verts",
 		"abl-coarsen", "abl-coalesce", "abl-visited-check", "abl-mselect",
 		"abl-mechanisms", "abl-lower", "abl-predict",
+		"streaming",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

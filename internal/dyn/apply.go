@@ -1,0 +1,351 @@
+package dyn
+
+import (
+	"fmt"
+	"time"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/exec"
+	"aamgo/internal/graph"
+	"aamgo/internal/run"
+)
+
+// TxConfig tunes the transactional phase of one Apply batch. The zero value
+// runs on the simulator's default Haswell profile under HTM.
+type TxConfig struct {
+	// Mechanism isolates the edge operators: HTM (default), Atomic, Lock,
+	// Optimistic or FlatCombining — the full §4.1 + conclusion set.
+	Mechanism aam.Mechanism
+	// Backend is "sim" (deterministic virtual time, the default) or
+	// "native" (real goroutines with the TL2-style STM).
+	Backend string
+	// Machine is the simulated machine profile ("has-c" default).
+	Machine string
+	// HTMVariant selects the HTM implementation; empty is the machine
+	// default.
+	HTMVariant string
+	// Threads shapes the machine (default 4; capped at the profile's
+	// hardware thread count).
+	Threads int
+	// M and C are the coarsening and coalescing factors (defaults 16/64).
+	M, C int
+	// Seed fixes machine randomness (default 1).
+	Seed int64
+	// CompactFraction triggers delta compaction when
+	// DeltaArcs > CompactFraction × base arcs (default 0.5; negative
+	// disables compaction).
+	CompactFraction float64
+}
+
+func (c TxConfig) resolve() (exec.MachineProfile, TxConfig, error) {
+	if c.Backend == "" {
+		c.Backend = run.Sim
+	}
+	if c.Machine == "" {
+		c.Machine = "has-c"
+	}
+	prof, err := exec.ProfileByName(c.Machine)
+	if err != nil {
+		return prof, c, err
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Threads > prof.MaxThreads {
+		c.Threads = prof.MaxThreads
+	}
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.C <= 0 {
+		c.C = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CompactFraction == 0 {
+		c.CompactFraction = 0.5
+	}
+	return prof, c, nil
+}
+
+// applier carries the shared state of one transactional batch: the
+// pre-batch snapshot every operator validates against, and per-thread
+// commit buckets filled by OnDone callbacks.
+type applier struct {
+	pre     *Snapshot
+	muts    []Mutation
+	rt      *aam.Runtime
+	addOp   int
+	delOp   int
+	buckets []bucket
+}
+
+type bucket struct {
+	committed []Mutation
+	rejected  int
+}
+
+const verBase = 0 // per-vertex version words live at [0, n)
+
+// Apply executes batch as one transactional phase and publishes the
+// resulting snapshot. Vertex additions are sequenced first (they always
+// succeed); edge mutations then run concurrently as May-Fail AAM operators
+// on an abstract machine under cfg.Mechanism, each operator reading and
+// writing the version words of both endpoints so that mutations touching a
+// common vertex genuinely conflict. Committed mutations are folded into a
+// copy-on-write snapshot; readers holding older snapshots are unaffected.
+//
+// Every mutation validates against the pre-batch snapshot: a batch is a
+// transaction, and all its operators see the state at batch start.
+func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
+	prof, cfg, err := cfg.resolve()
+	if err != nil {
+		return BatchResult{}, err
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	pre := g.cur.Load()
+
+	// Sequence vertex additions and validate edge endpoints against the
+	// post-addition vertex count.
+	var res BatchResult
+	newN := pre.n
+	edgeMuts := make([]Mutation, 0, len(batch))
+	for i, m := range batch {
+		switch m.Kind {
+		case KindAddVertex:
+			newN++
+		case KindAddEdge, KindRemoveEdge:
+			if int(m.U) < 0 || int(m.U) >= newN || int(m.V) < 0 || int(m.V) >= newN {
+				return BatchResult{}, fmt.Errorf("dyn: batch[%d]: edge (%d,%d) out of range [0,%d)", i, m.U, m.V, newN)
+			}
+			if m.U == m.V {
+				return BatchResult{}, fmt.Errorf("dyn: batch[%d]: self-loop (%d,%d) not supported", i, m.U, m.V)
+			}
+			edgeMuts = append(edgeMuts, m)
+		default:
+			return BatchResult{}, fmt.Errorf("dyn: batch[%d]: unknown mutation kind %d", i, m.Kind)
+		}
+	}
+	res.VerticesAdded = newN - pre.n
+
+	ns := pre.clone(newN)
+
+	// Transactional phase for the edge mutations.
+	if len(edgeMuts) > 0 {
+		a := &applier{pre: pre, muts: edgeMuts}
+		machRes := a.run(prof, cfg, newN)
+		res.Elapsed = time.Duration(machRes.Elapsed)
+		res.Stats = machRes.Stats
+
+		seenAdd := make(map[[2]int32]bool)
+		seenDel := make(map[[2]int32]bool)
+		cw := newCow()
+		for t := range a.buckets {
+			b := &a.buckets[t]
+			res.Rejected += b.rejected
+			for _, m := range b.committed {
+				key := [2]int32{min(m.U, m.V), max(m.U, m.V)}
+				switch m.Kind {
+				case KindAddEdge:
+					if seenAdd[key] {
+						res.Redundant++
+						continue
+					}
+					seenAdd[key] = true
+					ns.insertArc(m.U, m.V, cw)
+					ns.insertArc(m.V, m.U, cw)
+					res.Applied++
+				case KindRemoveEdge:
+					if seenDel[key] {
+						res.Redundant++
+						continue
+					}
+					seenDel[key] = true
+					ns.deleteArc(m.U, m.V, cw)
+					ns.deleteArc(m.V, m.U, cw)
+					res.Applied++
+					g.ccDirty = true
+				}
+			}
+		}
+		// Incremental CC: union committed inserts (cheap even when a
+		// delete already marked the forest dirty).
+		if !g.ccDirty {
+			g.uf.grow(newN)
+			for key := range seenAdd {
+				g.uf.union(int(key[0]), int(key[1]))
+			}
+		}
+	} else if newN > pre.n && !g.ccDirty {
+		g.uf.grow(newN)
+	}
+	res.Applied += res.VerticesAdded
+
+	// Compaction: fold the deltas back into a fresh base CSR when they
+	// outgrow the configured fraction of it.
+	if cfg.CompactFraction >= 0 {
+		baseArcs := int64(len(ns.base.Adj))
+		if ns.DeltaArcs() > int64(float64(baseArcs)*cfg.CompactFraction) && ns.DeltaArcs() > 0 {
+			ns = compact(ns)
+			res.Compacted = true
+			g.cum.Compactions++
+		}
+	}
+
+	g.cur.Store(ns)
+
+	g.cum.Batches++
+	g.cum.Applied += uint64(res.Applied)
+	g.cum.Rejected += uint64(res.Rejected)
+	g.cum.Redundant += uint64(res.Redundant)
+	g.cum.Epoch = ns.epoch
+	g.cum.Tx.Add(&res.Stats.Thread)
+	res.Epoch = ns.epoch
+	return res, nil
+}
+
+// Compact immediately folds all deltas into a fresh base CSR and publishes
+// the result as a new epoch.
+func (g *Graph) Compact() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.cur.Load()
+	if s.DeltaArcs() == 0 && s.n == s.base.N {
+		return
+	}
+	ns := compact(s)
+	ns.epoch = s.epoch + 1
+	g.cum.Compactions++
+	g.cum.Epoch = ns.epoch
+	g.cur.Store(ns)
+}
+
+// compact folds every delta of s into a fresh base CSR. The result denotes
+// the same logical state, so it keeps s's epoch.
+func compact(s *Snapshot) *Snapshot {
+	return &Snapshot{
+		epoch: s.epoch,
+		n:     s.n,
+		base:  s.materialize(),
+		adds:  make([][]int32, s.n),
+		dels:  make([][]int32, s.n),
+		arcs:  s.arcs,
+	}
+}
+
+// run executes the edge mutations on a single-node abstract machine and
+// returns the machine result. Memory layout: [0,n) per-vertex version
+// words, then a 64-word pad, then the lock region (per-vertex locks for
+// MechLock/MechOptimistic, the combining structure for MechFlatCombining).
+func (a *applier) run(prof exec.MachineProfile, cfg TxConfig, n int) exec.Result {
+	lockBase := n + 64
+	lockWords := n
+	if fc := 1 + 2*cfg.Threads; fc > lockWords {
+		lockWords = fc
+	}
+
+	a.rt = aam.NewRuntime()
+	a.addOp = a.rt.Register(a.edgeOp(KindAddEdge))
+	a.delOp = a.rt.Register(a.edgeOp(KindRemoveEdge))
+	a.buckets = make([]bucket, cfg.Threads)
+
+	var variant *exec.HTMProfile
+	if cfg.Mechanism == aam.MechHTM {
+		variant = prof.HTMVariant(cfg.HTMVariant)
+	}
+	engCfg := aam.Config{
+		M:         cfg.M,
+		C:         cfg.C,
+		Mechanism: cfg.Mechanism,
+		HTM:       variant,
+		Part:      graph.NewPartition(n, 1),
+		LockBase:  lockBase,
+	}
+
+	m := run.New(cfg.Backend, exec.Config{
+		Nodes:          1,
+		ThreadsPerNode: cfg.Threads,
+		MemWords:       lockBase + lockWords + 64,
+		Profile:        &prof,
+		Handlers:       a.rt.Handlers(nil),
+		Seed:           cfg.Seed,
+	})
+	return m.Run(func(ctx exec.Context) {
+		eng := aam.NewEngine(a.rt, ctx, engCfg)
+		P := ctx.ThreadsPerNode()
+		lid := ctx.LocalID()
+		op := 0
+		for i := lid; i < len(a.muts); i += P {
+			mut := a.muts[i]
+			if mut.Kind == KindAddEdge {
+				op = a.addOp
+			} else {
+				op = a.delOp
+			}
+			eng.Spawn(op, int(mut.U), uint64(uint32(mut.V)))
+		}
+		eng.Drain()
+	})
+}
+
+// edgeOp builds the add-edge or remove-edge operator. The transactional
+// body bumps the version words of both endpoints — the write set that makes
+// concurrent mutations of a shared vertex conflict under HTM/OCC and
+// serialize under locks — and charges the duplicate-scan of the immutable
+// pre-batch adjacency as read-only data. The May-Fail outcome (duplicate
+// insert, missing delete) aborts nothing; it flows back as the operator's
+// fail bit, and OnDone routes committed mutations into per-thread buckets.
+func (a *applier) edgeOp(kind Kind) *aam.Op {
+	wantExists := kind == KindRemoveEdge
+	return &aam.Op{
+		Name: kind.String(),
+		Body: func(tx exec.Tx, e *aam.Engine, v int, arg uint64) (uint64, bool) {
+			u, w := int32(v), int32(uint32(arg))
+			tx.Write(verBase+int(u), tx.Read(verBase+int(u))+1)
+			tx.Write(verBase+int(w), tx.Read(verBase+int(w))+1)
+			tx.ReadROData(a.scanCost(u))
+			return arg, a.pre.HasEdge(u, w) != wantExists
+		},
+		BodyAtomic: func(ctx exec.Context, e *aam.Engine, v int, arg uint64) (uint64, bool) {
+			u, w := int32(v), int32(uint32(arg))
+			if a.pre.HasEdge(u, w) != wantExists {
+				return arg, true
+			}
+			ctx.FetchAdd(verBase+int(u), 1)
+			ctx.FetchAdd(verBase+int(w), 1)
+			return arg, false
+		},
+		LockAddrs: func(e *aam.Engine, v int, arg uint64) []int {
+			u, w := v, int(uint32(arg))
+			return []int{e.Cfg().LockBase + u, e.Cfg().LockBase + w}
+		},
+		OnDone: func(e *aam.Engine, vGlobal int, ret uint64, fail bool) {
+			b := &a.buckets[e.Ctx().GlobalID()]
+			if fail {
+				b.rejected++
+				return
+			}
+			b.committed = append(b.committed, Mutation{Kind: kind, U: int32(vGlobal), V: int32(uint32(ret))})
+		},
+	}
+}
+
+// scanCost is the word count charged for scanning u's adjacency during the
+// duplicate check.
+func (a *applier) scanCost(u int32) int {
+	if int(u) >= a.pre.n {
+		return 1
+	}
+	d := len(a.pre.adds[u])
+	if int(u) < a.pre.base.N {
+		d += a.pre.base.Degree(int(u))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

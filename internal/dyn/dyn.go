@@ -1,0 +1,413 @@
+// Package dyn is the dynamic-graph subsystem: a mutable, concurrently
+// updatable graph layered on the static CSR representation of
+// internal/graph and the AAM runtime of internal/aam.
+//
+// The design follows the paper's pitch — fine-grained concurrent updates to
+// an irregular structure, isolated by (emulated) hardware transactions or
+// one of the alternative mechanisms — and extends it with the machinery a
+// long-lived service needs:
+//
+//   - Graph wraps a frozen CSR "base" with per-vertex adjacency deltas
+//     (added and deleted arcs). Mutations are applied in transactional
+//     batches; when the deltas grow past a configurable fraction of the
+//     base, the graph is compacted back into a fresh CSR.
+//   - Batches of AddEdge/RemoveEdge mutations execute as AAM operators on
+//     an abstract machine, so they run under all five isolation mechanisms
+//     (HTM, atomics, locks, optimistic locking, flat combining) with
+//     abort/retry statistics flowing into internal/stats. Every edge
+//     operator reads and writes the version words of both endpoints,
+//     reproducing the conflict structure of concurrent adjacency updates.
+//   - Readers never block writers: Snapshot returns an immutable
+//     epoch-stamped view built with per-vertex copy-on-write, and Freeze
+//     materializes it into a plain *graph.Graph so the static analytics in
+//     internal/algo run unchanged against a consistent cut of the graph.
+//   - Connected components are maintained incrementally: edge inserts
+//     union a disjoint-set forest in O(α), deletions mark it dirty and the
+//     next query recomputes from the current snapshot.
+//
+// Graphs are undirected and unweighted (each logical edge is stored as two
+// arcs), matching the Graph500-style workloads of the paper's evaluation.
+package dyn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aamgo/internal/graph"
+	"aamgo/internal/stats"
+)
+
+// Kind discriminates mutations.
+type Kind uint8
+
+const (
+	// KindAddEdge inserts an undirected edge {U, V}. It fails (is
+	// rejected) when the edge already exists in the pre-batch snapshot.
+	KindAddEdge Kind = iota
+	// KindRemoveEdge deletes an undirected edge {U, V} including every
+	// parallel copy. It fails when the edge does not exist in the
+	// pre-batch snapshot.
+	KindRemoveEdge
+	// KindAddVertex appends one isolated vertex; U and V are ignored.
+	// Vertex additions always succeed and are sequenced before the edge
+	// mutations of the same batch, so a batch may wire up the vertices it
+	// creates.
+	KindAddVertex
+)
+
+// String names the mutation kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAddEdge:
+		return "add-edge"
+	case KindRemoveEdge:
+		return "remove-edge"
+	case KindAddVertex:
+		return "add-vertex"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Mutation is one element of a transactional batch.
+type Mutation struct {
+	Kind Kind
+	U, V int32
+}
+
+// AddEdge returns an edge-insert mutation.
+func AddEdge(u, v int32) Mutation { return Mutation{Kind: KindAddEdge, U: u, V: v} }
+
+// RemoveEdge returns an edge-delete mutation.
+func RemoveEdge(u, v int32) Mutation { return Mutation{Kind: KindRemoveEdge, U: u, V: v} }
+
+// AddVertex returns a vertex-append mutation.
+func AddVertex() Mutation { return Mutation{Kind: KindAddVertex} }
+
+// Snapshot is an immutable epoch-stamped view of the graph: the base CSR
+// plus per-vertex add/delete deltas. Snapshots are safe for concurrent use
+// and stay valid (and unchanged) forever; they pin their backing memory.
+type Snapshot struct {
+	epoch uint64
+	n     int
+	base  *graph.Graph
+	// adds[v] lists arcs v→w inserted since the base was built; dels[v]
+	// lists base neighbors deleted since (each entry removes every
+	// parallel copy). Both are nil for untouched vertices. Vertices
+	// v >= base.N have only adds.
+	adds [][]int32
+	dels [][]int32
+
+	arcs    int64 // exact arc count of the merged view
+	addArcs int64 // arcs carried by adds
+	delArcs int64 // base arcs suppressed by dels
+
+	frozen atomic.Pointer[graph.Graph]
+}
+
+// Epoch returns the snapshot's epoch (one per applied batch).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// N returns the number of vertices.
+func (s *Snapshot) N() int { return s.n }
+
+// NumArcs returns the number of stored arcs (2× logical edges).
+func (s *Snapshot) NumArcs() int64 { return s.arcs }
+
+// DeltaArcs returns how many arcs live outside the base CSR (inserted plus
+// deleted); compaction triggers on this.
+func (s *Snapshot) DeltaArcs() int64 { return s.addArcs + s.delArcs }
+
+func containsArc(list []int32, w int32) bool {
+	for _, x := range list {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+func countArc(list []int32, w int32) int64 {
+	var c int64
+	for _, x := range list {
+		if x == w {
+			c++
+		}
+	}
+	return c
+}
+
+// HasEdge reports whether the arc u→v exists in this view.
+func (s *Snapshot) HasEdge(u, v int32) bool {
+	if int(u) < 0 || int(u) >= s.n || int(v) < 0 || int(v) >= s.n {
+		return false
+	}
+	if containsArc(s.adds[u], v) {
+		return true
+	}
+	if int(u) < s.base.N && !containsArc(s.dels[u], v) {
+		return containsArc(s.base.Neighbors(int(u)), v)
+	}
+	return false
+}
+
+// Degree returns the merged out-degree of v.
+func (s *Snapshot) Degree(v int) int {
+	d := int64(len(s.adds[v]))
+	if v < s.base.N {
+		d += int64(s.base.Degree(v))
+		for _, w := range s.dels[v] {
+			d -= countArc(s.base.Neighbors(v), w)
+		}
+	}
+	return int(d)
+}
+
+// AppendNeighbors appends the merged adjacency of v to dst and returns the
+// extended slice (allocation-free when dst has capacity).
+func (s *Snapshot) AppendNeighbors(dst []int32, v int) []int32 {
+	if v < s.base.N {
+		del := s.dels[v]
+		for _, w := range s.base.Neighbors(v) {
+			if !containsArc(del, w) {
+				dst = append(dst, w)
+			}
+		}
+	}
+	return append(dst, s.adds[v]...)
+}
+
+// Freeze materializes the snapshot as a static CSR graph usable with every
+// algorithm in internal/algo. The result is cached on the snapshot, so
+// repeated freezes of one epoch are free; when the snapshot carries no
+// deltas the base is returned directly.
+func (s *Snapshot) Freeze() *graph.Graph {
+	if g := s.frozen.Load(); g != nil {
+		return g
+	}
+	g := s.materialize()
+	s.frozen.CompareAndSwap(nil, g)
+	return s.frozen.Load()
+}
+
+func (s *Snapshot) materialize() *graph.Graph {
+	if s.DeltaArcs() == 0 && s.n == s.base.N {
+		return s.base
+	}
+	adj := make([]int32, 0, s.arcs)
+	offsets := make([]int64, s.n+1)
+	for v := 0; v < s.n; v++ {
+		adj = s.AppendNeighbors(adj, v)
+		offsets[v+1] = int64(len(adj))
+	}
+	return &graph.Graph{N: s.n, Offsets: offsets, Adj: adj}
+}
+
+// Graph is the mutable dynamic graph. All mutation goes through Apply;
+// readers obtain immutable Snapshots and never block writers. A Graph is
+// safe for concurrent use by any number of readers and writers (writers
+// serialize on an internal lock; the transactional machine inside one
+// batch provides the fine-grained concurrency).
+type Graph struct {
+	mu  sync.Mutex // serializes writers and guards uf/ccDirty/cum
+	cur atomic.Pointer[Snapshot]
+
+	uf      *unionFind
+	ccDirty bool
+
+	cum CumStats
+}
+
+// CumStats aggregates the lifetime counters of one Graph.
+type CumStats struct {
+	Batches     uint64
+	Applied     uint64 // net mutations applied (incl. vertex adds)
+	Rejected    uint64 // failed May-Fail operators (duplicate add / missing remove)
+	Redundant   uint64 // committed operators that lost an intra-batch duplicate race
+	Compactions uint64
+	Epoch       uint64
+	// Tx aggregates the machine counters of every batch: transactions,
+	// aborts by reason, retries, serializations, atomics, lock
+	// acquisitions, flat-combined operators.
+	Tx stats.Total
+}
+
+// New wraps a static base graph. The base must be undirected and is frozen
+// into the dynamic graph (callers must not mutate it afterwards); weights
+// are not carried over.
+func New(base *graph.Graph) (*Graph, error) {
+	if base == nil {
+		return nil, fmt.Errorf("dyn: nil base graph")
+	}
+	if base.Directed {
+		return nil, fmt.Errorf("dyn: base graph must be undirected")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("dyn: invalid base: %w", err)
+	}
+	g := &Graph{}
+	snap := &Snapshot{
+		n:    base.N,
+		base: &graph.Graph{N: base.N, Offsets: base.Offsets, Adj: base.Adj},
+		adds: make([][]int32, base.N),
+		dels: make([][]int32, base.N),
+		arcs: base.NumEdges(),
+	}
+	g.cur.Store(snap)
+	g.uf = newUnionFind(base.N)
+	for v := 0; v < base.N; v++ {
+		for _, w := range base.Neighbors(v) {
+			if int32(v) < w {
+				g.uf.union(v, int(w))
+			}
+		}
+	}
+	return g, nil
+}
+
+// NewEmpty returns a dynamic graph of n isolated vertices.
+func NewEmpty(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{}
+	base := &graph.Graph{N: n, Offsets: make([]int64, n+1)}
+	g.cur.Store(&Snapshot{
+		n:    n,
+		base: base,
+		adds: make([][]int32, n),
+		dels: make([][]int32, n),
+	})
+	g.uf = newUnionFind(n)
+	return g
+}
+
+// Snapshot returns the current immutable view.
+func (g *Graph) Snapshot() *Snapshot { return g.cur.Load() }
+
+// Freeze materializes the current snapshot as a static CSR graph.
+func (g *Graph) Freeze() *graph.Graph { return g.Snapshot().Freeze() }
+
+// N returns the current vertex count.
+func (g *Graph) N() int { return g.Snapshot().n }
+
+// NumArcs returns the current arc count.
+func (g *Graph) NumArcs() int64 { return g.Snapshot().arcs }
+
+// Epoch returns the current epoch.
+func (g *Graph) Epoch() uint64 { return g.Snapshot().epoch }
+
+// Stats returns a copy of the lifetime counters.
+func (g *Graph) Stats() CumStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cum
+}
+
+// BatchResult reports one Apply call.
+type BatchResult struct {
+	// Applied counts net state changes: inserted edges, deleted edges and
+	// added vertices.
+	Applied int
+	// Rejected counts mutations that failed their May-Fail check: adding
+	// an edge that already existed, or removing one that did not (as
+	// observed in the pre-batch snapshot).
+	Rejected int
+	// Redundant counts mutations that committed but duplicated another
+	// committed mutation of the same batch (e.g. the same edge added
+	// twice); exactly one of the duplicates is applied.
+	Redundant int
+	// VerticesAdded counts KindAddVertex mutations (always applied).
+	VerticesAdded int
+	// Epoch is the epoch the batch produced.
+	Epoch uint64
+	// Compacted reports whether this batch triggered a delta compaction
+	// back into a fresh base CSR.
+	Compacted bool
+	// Elapsed is the machine time of the transactional phase: virtual
+	// time on the sim backend, wall time on native.
+	Elapsed time.Duration
+	// Stats carries the machine counters of the transactional phase.
+	Stats stats.Total
+}
+
+// clone produces a mutable copy of s for the next epoch with capacity for
+// newN vertices. Per-vertex slices stay shared until copyVertex detaches
+// them.
+func (s *Snapshot) clone(newN int) *Snapshot {
+	ns := &Snapshot{
+		epoch:   s.epoch + 1,
+		n:       newN,
+		base:    s.base,
+		adds:    make([][]int32, newN),
+		dels:    make([][]int32, newN),
+		arcs:    s.arcs,
+		addArcs: s.addArcs,
+		delArcs: s.delArcs,
+	}
+	copy(ns.adds, s.adds)
+	copy(ns.dels, s.dels)
+	return ns
+}
+
+// cow tracks which per-vertex delta slices have already been detached from
+// the previous snapshot's backing arrays during one batch, so repeated
+// mutations of the same vertex append in place instead of re-copying.
+type cow struct {
+	adds, dels map[int32]bool
+}
+
+func newCow() *cow { return &cow{adds: make(map[int32]bool), dels: make(map[int32]bool)} }
+
+// insertArc adds the arc u→v to the delta structures of ns (copy-on-write
+// with respect to the previous snapshot's backing arrays).
+func (ns *Snapshot) insertArc(u, v int32, c *cow) {
+	if !c.adds[u] {
+		ns.adds[u] = detach(ns.adds[u])
+		c.adds[u] = true
+	}
+	ns.adds[u] = append(ns.adds[u], v)
+	ns.arcs++
+	ns.addArcs++
+}
+
+// deleteArc removes every copy of the arc u→v from ns and returns how many
+// arcs disappeared.
+func (ns *Snapshot) deleteArc(u, v int32, c *cow) int64 {
+	var removed int64
+	if n := countArc(ns.adds[u], v); n > 0 {
+		kept := make([]int32, 0, len(ns.adds[u])-int(n))
+		for _, w := range ns.adds[u] {
+			if w != v {
+				kept = append(kept, w)
+			}
+		}
+		ns.adds[u] = kept // fresh backing array, now private to the batch
+		c.adds[u] = true
+		ns.addArcs -= n
+		removed += n
+	}
+	if int(u) < ns.base.N && !containsArc(ns.dels[u], v) {
+		if n := countArc(ns.base.Neighbors(int(u)), v); n > 0 {
+			if !c.dels[u] {
+				ns.dels[u] = detach(ns.dels[u])
+				c.dels[u] = true
+			}
+			ns.dels[u] = append(ns.dels[u], v)
+			ns.delArcs += n
+			removed += n
+		}
+	}
+	ns.arcs -= removed
+	return removed
+}
+
+// detach returns a copy of list so appends never touch backing arrays
+// shared with published snapshots.
+func detach(list []int32) []int32 {
+	out := make([]int32, len(list), len(list)+1)
+	copy(out, list)
+	return out
+}

@@ -1,0 +1,497 @@
+// Package serve implements the aam-serve query/update daemon: a JSON/HTTP
+// front end over the dynamic-graph subsystem (internal/dyn). Writers POST
+// and DELETE edge batches, which execute as transactional AAM batches under
+// the configured isolation mechanism; readers hit the query endpoints,
+// which run the static analytics of internal/algo against epoch-stamped
+// immutable snapshots, so reads and writes proceed concurrently. A bounded
+// worker pool caps in-flight request work.
+//
+// Endpoints:
+//
+//	POST   /edges               {"edges":[[u,v],...]}   insert a batch
+//	DELETE /edges               {"edges":[[u,v],...]}   delete a batch
+//	POST   /vertices            {"count":k}             append k vertices
+//	GET    /graph                                       size/epoch summary
+//	GET    /query/bfs?src=V[&full=1]                    AAM BFS from V
+//	GET    /query/cc                                    incremental components
+//	GET    /query/pagerank[?iters=I&damping=D&top=K]    AAM PageRank
+//	GET    /stats                                       lifetime counters
+//
+// Mutation endpoints accept ?mech={htm,atomic,lock,occ,flatcomb} to
+// override the server's default isolation mechanism per request.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/algo"
+	"aamgo/internal/dyn"
+	"aamgo/internal/exec"
+	"aamgo/internal/run"
+	"aamgo/internal/stats"
+)
+
+// Config shapes the daemon.
+type Config struct {
+	// Mechanism is the default isolation mechanism for mutation batches.
+	Mechanism aam.Mechanism
+	// Backend runs batches and queries on "sim" (default, deterministic)
+	// or "native" machines.
+	Backend string
+	// Machine is the simulated machine profile (default "has-c").
+	Machine string
+	// Threads per machine run (default 4).
+	Threads int
+	// M and C are the AAM coarsening/coalescing factors (defaults 16/64).
+	M, C int
+	// MaxConcurrent bounds the worker pool: at most this many requests
+	// execute graph work at once; further requests wait (default 8).
+	MaxConcurrent int
+	// Seed fixes machine randomness (default 1).
+	Seed int64
+}
+
+func (c Config) resolve() (Config, exec.MachineProfile, error) {
+	if c.Backend == "" {
+		c.Backend = run.Sim
+	}
+	if c.Machine == "" {
+		c.Machine = "has-c"
+	}
+	prof, err := exec.ProfileByName(c.Machine)
+	if err != nil {
+		return c, prof, err
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Threads > prof.MaxThreads {
+		c.Threads = prof.MaxThreads
+	}
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.C <= 0 {
+		c.C = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, prof, nil
+}
+
+// Server is the HTTP front end over one dynamic graph.
+type Server struct {
+	g    *dyn.Graph
+	cfg  Config
+	prof exec.MachineProfile
+	sem  chan struct{}
+	mux  *http.ServeMux
+	t0   time.Time
+
+	requests  atomic.Uint64
+	queries   atomic.Uint64
+	mutations atomic.Uint64
+	rejected  atomic.Uint64 // requests that failed validation (4xx)
+}
+
+// New builds a server over g.
+func New(g *dyn.Graph, cfg Config) (*Server, error) {
+	cfg, prof, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		g:    g,
+		cfg:  cfg,
+		prof: prof,
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		mux:  http.NewServeMux(),
+		t0:   time.Now(),
+	}
+	s.mux.HandleFunc("/edges", s.pooled(s.handleEdges))
+	s.mux.HandleFunc("/vertices", s.pooled(s.handleVertices))
+	s.mux.HandleFunc("/graph", s.pooled(s.handleGraph))
+	s.mux.HandleFunc("/query/bfs", s.pooled(s.handleBFS))
+	s.mux.HandleFunc("/query/cc", s.pooled(s.handleCC))
+	s.mux.HandleFunc("/query/pagerank", s.pooled(s.handlePageRank))
+	s.mux.HandleFunc("/stats", s.pooled(s.handleStats))
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// pooled gates h behind the bounded worker pool. A request whose client
+// goes away while queued is dropped without running.
+func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		case <-r.Context().Done():
+			http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
+		}
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.rejected.Add(1)
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// txConfig derives the per-request transaction config, honoring ?mech=.
+func (s *Server) txConfig(r *http.Request) (dyn.TxConfig, error) {
+	mech := s.cfg.Mechanism
+	if name := r.URL.Query().Get("mech"); name != "" {
+		var ok bool
+		if mech, ok = MechByName(name); !ok {
+			return dyn.TxConfig{}, fmt.Errorf("unknown mechanism %q (want htm, atomic, lock, occ or flatcomb)", name)
+		}
+	}
+	return dyn.TxConfig{
+		Mechanism: mech,
+		Backend:   s.cfg.Backend,
+		Machine:   s.cfg.Machine,
+		Threads:   s.cfg.Threads,
+		M:         s.cfg.M,
+		C:         s.cfg.C,
+		Seed:      s.cfg.Seed,
+	}, nil
+}
+
+// MechByName resolves the wire names of the five isolation mechanisms.
+func MechByName(name string) (aam.Mechanism, bool) {
+	for _, m := range []aam.Mechanism{
+		aam.MechHTM, aam.MechAtomic, aam.MechLock, aam.MechOptimistic, aam.MechFlatCombining,
+	} {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+type edgesRequest struct {
+	Edges [][2]int32 `json:"edges"`
+}
+
+type mutateResponse struct {
+	Applied   int    `json:"applied"`
+	Rejected  int    `json:"rejected"`
+	Redundant int    `json:"redundant"`
+	Epoch     uint64 `json:"epoch"`
+	Compacted bool   `json:"compacted"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Aborts    uint64 `json:"aborts"`
+	Retries   uint64 `json:"retries"`
+	Mechanism string `json:"mechanism"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var kind dyn.Kind
+	switch r.Method {
+	case http.MethodPost:
+		kind = dyn.KindAddEdge
+	case http.MethodDelete:
+		kind = dyn.KindRemoveEdge
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "use POST or DELETE")
+		return
+	}
+	var req edgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty edge batch")
+		return
+	}
+	cfg, err := s.txConfig(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	batch := make([]dyn.Mutation, len(req.Edges))
+	for i, e := range req.Edges {
+		batch[i] = dyn.Mutation{Kind: kind, U: e[0], V: e[1]}
+	}
+	res, err := s.g.Apply(batch, cfg)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mutations.Add(1)
+	s.writeJSON(w, http.StatusOK, mutateResponse{
+		Applied:   res.Applied,
+		Rejected:  res.Rejected,
+		Redundant: res.Redundant,
+		Epoch:     res.Epoch,
+		Compacted: res.Compacted,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+		Aborts:    res.Stats.TotalAborts(),
+		Retries:   res.Stats.Retries,
+		Mechanism: cfg.Mechanism.String(),
+	})
+}
+
+type verticesRequest struct {
+	Count int `json:"count"`
+}
+
+func (s *Server) handleVertices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req verticesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Count <= 0 || req.Count > 1<<20 {
+		s.fail(w, http.StatusBadRequest, "count %d out of range [1, 2^20]", req.Count)
+		return
+	}
+	cfg, err := s.txConfig(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	batch := make([]dyn.Mutation, req.Count)
+	for i := range batch {
+		batch[i] = dyn.AddVertex()
+	}
+	res, err := s.g.Apply(batch, cfg)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mutations.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"added": res.VerticesAdded,
+		"n":     s.g.N(),
+		"epoch": res.Epoch,
+	})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.g.Snapshot()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"n":          snap.N(),
+		"arcs":       snap.NumArcs(),
+		"delta_arcs": snap.DeltaArcs(),
+		"epoch":      snap.Epoch(),
+	})
+}
+
+func (s *Server) engineCfg() aam.Config {
+	cfg := aam.Config{M: s.cfg.M, C: s.cfg.C, Mechanism: s.cfg.Mechanism}
+	if cfg.Mechanism == aam.MechHTM {
+		cfg.HTM = s.prof.HTMVariant("")
+	}
+	return cfg
+}
+
+func (s *Server) machine(memWords int, handlers []exec.HandlerFunc) exec.Machine {
+	prof := s.prof
+	return run.New(s.cfg.Backend, exec.Config{
+		Nodes: 1, ThreadsPerNode: s.cfg.Threads,
+		MemWords: memWords, Profile: &prof,
+		Handlers: handlers, Seed: s.cfg.Seed,
+	})
+}
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.g.Snapshot() // one consistent cut; writers continue concurrently
+	f := snap.Freeze()
+	src, err := strconv.Atoi(r.URL.Query().Get("src"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad src: %v", err)
+		return
+	}
+	if src < 0 || src >= f.N {
+		s.fail(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, f.N)
+		return
+	}
+	b := algo.NewBFS(f, 1, algo.BFSConfig{
+		Mode: algo.BFSAAM, Engine: s.engineCfg(), VisitedCheck: true,
+	})
+	m := s.machine(b.MemWords(), b.Handlers(nil))
+	t0 := time.Now()
+	res := m.Run(b.Body(src))
+	parents := b.Parents(m)
+	s.queries.Add(1)
+
+	reached := 0
+	for _, p := range parents {
+		if p >= 0 {
+			reached++
+		}
+	}
+	out := map[string]any{
+		"src":             src,
+		"epoch":           snap.Epoch(),
+		"n":               f.N,
+		"reached":         reached,
+		"machine_time_ns": int64(res.Elapsed),
+		"wall_time_ns":    time.Since(t0).Nanoseconds(),
+	}
+	if r.URL.Query().Get("full") == "1" {
+		out["parents"] = parents
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	t0 := time.Now()
+	// One atomic view: count, labels and epoch belong to the same state.
+	snap, count, labels := s.g.ComponentView(r.URL.Query().Get("full") == "1")
+	s.queries.Add(1)
+	out := map[string]any{
+		"components":   count,
+		"n":            snap.N(),
+		"epoch":        snap.Epoch(),
+		"wall_time_ns": time.Since(t0).Nanoseconds(),
+	}
+	if labels != nil {
+		out["labels"] = labels
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+type rankedVertex struct {
+	V    int     `json:"v"`
+	Rank float64 `json:"rank"`
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	iters, damping, top := 10, 0.85, 10
+	var err error
+	if v := q.Get("iters"); v != "" {
+		if iters, err = strconv.Atoi(v); err != nil || iters < 1 || iters > 1000 {
+			s.fail(w, http.StatusBadRequest, "bad iters %q", v)
+			return
+		}
+	}
+	if v := q.Get("damping"); v != "" {
+		if damping, err = strconv.ParseFloat(v, 64); err != nil || damping <= 0 || damping >= 1 {
+			s.fail(w, http.StatusBadRequest, "bad damping %q", v)
+			return
+		}
+	}
+	if v := q.Get("top"); v != "" {
+		if top, err = strconv.Atoi(v); err != nil || top < 1 {
+			s.fail(w, http.StatusBadRequest, "bad top %q", v)
+			return
+		}
+	}
+	snap := s.g.Snapshot()
+	f := snap.Freeze()
+	p := algo.NewPageRank(f, 1, algo.PRConfig{
+		Damping: damping, Iterations: iters, Engine: s.engineCfg(),
+	})
+	m := s.machine(p.MemWords(), p.Handlers(nil))
+	t0 := time.Now()
+	res := m.Run(p.Body())
+	ranks := p.Ranks(m)
+	s.queries.Add(1)
+
+	idx := make([]int, len(ranks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ranks[idx[a]] > ranks[idx[b]] })
+	if top > len(idx) {
+		top = len(idx)
+	}
+	best := make([]rankedVertex, top)
+	for i := 0; i < top; i++ {
+		best[i] = rankedVertex{V: idx[i], Rank: ranks[idx[i]]}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"iters":           iters,
+		"damping":         damping,
+		"epoch":           snap.Epoch(),
+		"top":             best,
+		"machine_time_ns": int64(res.Elapsed),
+		"wall_time_ns":    time.Since(t0).Nanoseconds(),
+	})
+}
+
+type statsResponse struct {
+	UptimeNS     int64        `json:"uptime_ns"`
+	Requests     uint64       `json:"requests"`
+	Queries      uint64       `json:"queries"`
+	Mutations    uint64       `json:"mutation_batches"`
+	BadRequests  uint64       `json:"bad_requests"`
+	Graph        dyn.CumStats `json:"graph"`
+	TxCommitted  uint64       `json:"tx_committed"`
+	TxAborts     uint64       `json:"tx_aborts"`
+	TxSerialized uint64       `json:"tx_serialized"`
+	AbortReasons map[string]uint64 `json:"abort_reasons"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	gs := s.g.Stats()
+	reasons := make(map[string]uint64, stats.NumAbortReasons)
+	for reason := stats.AbortReason(0); reason < stats.NumAbortReasons; reason++ {
+		reasons[reason.String()] = gs.Tx.Aborts[reason]
+	}
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		UptimeNS:     time.Since(s.t0).Nanoseconds(),
+		Requests:     s.requests.Load(),
+		Queries:      s.queries.Load(),
+		Mutations:    s.mutations.Load(),
+		BadRequests:  s.rejected.Load(),
+		Graph:        gs,
+		TxCommitted:  gs.Tx.TxCommitted,
+		TxAborts:     gs.Tx.TotalAborts(),
+		TxSerialized: gs.Tx.TxSerialized,
+		AbortReasons: reasons,
+	})
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/algo"
+	"aamgo/internal/dyn"
+	"aamgo/internal/graph"
+)
+
+func newTestServer(t *testing.T, base *graph.Graph, cfg Config) (*httptest.Server, *dyn.Graph) {
+	t.Helper()
+	var g *dyn.Graph
+	var err error
+	if base == nil {
+		g = dyn.NewEmpty(8)
+	} else if g, err = dyn.New(base); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, g
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, raw)
+	}
+	out := map[string]any{}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("%s %s: bad JSON response %q: %v", method, url, raw, err)
+		}
+	}
+	return out
+}
+
+func TestMutateAndQueryRoundTrip(t *testing.T) {
+	ts, g := newTestServer(t, nil, Config{})
+
+	res := doJSON(t, "POST", ts.URL+"/edges", map[string]any{
+		"edges": [][2]int32{{0, 1}, {1, 2}, {3, 4}},
+	}, 200)
+	if res["applied"].(float64) != 3 {
+		t.Fatalf("applied = %v", res["applied"])
+	}
+
+	gr := doJSON(t, "GET", ts.URL+"/graph", nil, 200)
+	if gr["n"].(float64) != 8 || gr["arcs"].(float64) != 6 {
+		t.Fatalf("graph summary %v", gr)
+	}
+
+	cc := doJSON(t, "GET", ts.URL+"/query/cc", nil, 200)
+	if cc["components"].(float64) != 5 { // {0,1,2} {3,4} {5} {6} {7}
+		t.Fatalf("components = %v", cc["components"])
+	}
+
+	bfs := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1", nil, 200)
+	if bfs["reached"].(float64) != 3 {
+		t.Fatalf("bfs reached = %v", bfs["reached"])
+	}
+	if len(bfs["parents"].([]any)) != 8 {
+		t.Fatalf("full parents missing: %v", bfs["parents"])
+	}
+
+	pr := doJSON(t, "GET", ts.URL+"/query/pagerank?iters=3&top=4", nil, 200)
+	if len(pr["top"].([]any)) != 4 {
+		t.Fatalf("pagerank top = %v", pr["top"])
+	}
+
+	del := doJSON(t, "DELETE", ts.URL+"/edges", map[string]any{
+		"edges": [][2]int32{{1, 2}},
+	}, 200)
+	if del["applied"].(float64) != 1 {
+		t.Fatalf("delete applied = %v", del["applied"])
+	}
+	cc = doJSON(t, "GET", ts.URL+"/query/cc", nil, 200)
+	if cc["components"].(float64) != 6 {
+		t.Fatalf("components after delete = %v", cc["components"])
+	}
+
+	vres := doJSON(t, "POST", ts.URL+"/vertices", map[string]any{"count": 2}, 200)
+	if vres["n"].(float64) != 10 {
+		t.Fatalf("vertices response %v", vres)
+	}
+
+	st := doJSON(t, "GET", ts.URL+"/stats", nil, 200)
+	if st["mutation_batches"].(float64) != 3 || st["queries"].(float64) != 4 {
+		t.Fatalf("stats %v", st)
+	}
+	if g.Epoch() != 3 {
+		t.Fatalf("epoch = %d", g.Epoch())
+	}
+}
+
+func TestMechanismOverridePerRequest(t *testing.T) {
+	ts, g := newTestServer(t, nil, Config{Mechanism: aam.MechHTM})
+	for i, mech := range []string{"atomic", "lock", "occ", "flatcomb"} {
+		u, v := int32(i), int32(i+1)
+		res := doJSON(t, "POST", ts.URL+"/edges?mech="+mech, map[string]any{
+			"edges": [][2]int32{{u, v}},
+		}, 200)
+		if res["mechanism"].(string) != mech {
+			t.Fatalf("mechanism echo = %v, want %s", res["mechanism"], mech)
+		}
+	}
+	st := g.Stats()
+	if st.Tx.AtomicOps == 0 || st.Tx.LockAcqs == 0 {
+		t.Fatalf("per-mechanism counters missing: %+v", st.Tx)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	ts, _ := newTestServer(t, nil, Config{})
+	cases := []struct {
+		name, method, path string
+		body               string
+		want               int
+	}{
+		{"bad json", "POST", "/edges", "{nope", 400},
+		{"empty batch", "POST", "/edges", `{"edges":[]}`, 400},
+		{"out of range", "POST", "/edges", `{"edges":[[0,99]]}`, 400},
+		{"self loop", "POST", "/edges", `{"edges":[[1,1]]}`, 400},
+		{"bad mechanism", "POST", "/edges?mech=tm", `{"edges":[[0,1]]}`, 400},
+		{"edges wrong method", "GET", "/edges", "", 405},
+		{"vertices wrong method", "GET", "/vertices", "", 405},
+		{"vertices bad count", "POST", "/vertices", `{"count":0}`, 400},
+		{"vertices bad json", "POST", "/vertices", `]`, 400},
+		{"bfs no src", "GET", "/query/bfs", "", 400},
+		{"bfs bad src", "GET", "/query/bfs?src=404", "", 400},
+		{"bfs neg src", "GET", "/query/bfs?src=-1", "", 400},
+		{"bfs wrong method", "DELETE", "/query/bfs?src=0", "", 405},
+		{"cc wrong method", "POST", "/query/cc", "", 405},
+		{"pr bad iters", "GET", "/query/pagerank?iters=0", "", 400},
+		{"pr bad damping", "GET", "/query/pagerank?damping=2", "", 400},
+		{"pr bad top", "GET", "/query/pagerank?top=x", "", 400},
+		{"stats wrong method", "POST", "/stats", "", 405},
+		{"graph wrong method", "POST", "/graph", "", 405},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, c.want, raw)
+			}
+			var eb map[string]any
+			if err := json.Unmarshal(raw, &eb); err != nil || eb["error"] == "" {
+				t.Fatalf("error body not JSON: %q", raw)
+			}
+		})
+	}
+	st := doJSON(t, "GET", ts.URL+"/stats", nil, 200)
+	if st["bad_requests"].(float64) != float64(len(cases)) {
+		t.Fatalf("bad_requests = %v, want %d", st["bad_requests"], len(cases))
+	}
+}
+
+// TestConcurrentTraffic exercises the daemon end to end: concurrent writers
+// stream edge batches (each under a different isolation mechanism) while
+// readers hammer the query endpoints. Afterwards the server's component
+// view must equal a from-scratch recompute over the frozen graph.
+func TestConcurrentTraffic(t *testing.T) {
+	base := graph.Community(128, 8, 3, 0.05, 5)
+	ts, g := newTestServer(t, base, Config{MaxConcurrent: 4})
+
+	const writers, readers, rounds = 4, 3, 6
+	mechs := []string{"htm", "atomic", "lock", "occ", "flatcomb"}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for r := 0; r < rounds; r++ {
+				edges := make([][2]int32, 0, 8)
+				for i := 0; i < 8; i++ {
+					u, v := int32(rng.Intn(base.N)), int32(rng.Intn(base.N))
+					if u != v {
+						edges = append(edges, [2]int32{u, v})
+					}
+				}
+				method := "POST"
+				if rng.Intn(3) == 0 {
+					method = "DELETE"
+				}
+				body, _ := json.Marshal(map[string]any{"edges": edges})
+				req, _ := http.NewRequest(method, ts.URL+"/edges?mech="+mechs[(w+r)%len(mechs)], bytes.NewReader(body))
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("writer %d: status %d", w, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			paths := []string{"/query/cc", "/query/bfs?src=0", "/graph", "/stats"}
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Get(ts.URL + paths[(r+i)%len(paths)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("reader %d: status %d", r, resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	want := algo.SeqComponents(g.Freeze())
+	if got := g.Components(); !reflect.DeepEqual(got, want) {
+		t.Fatal("server component view diverged from recompute")
+	}
+	if g.Stats().Batches != writers*rounds {
+		t.Fatalf("batches = %d, want %d", g.Stats().Batches, writers*rounds)
+	}
+}
+
+func TestMechByName(t *testing.T) {
+	for _, name := range []string{"htm", "atomic", "lock", "occ", "flatcomb"} {
+		if m, ok := MechByName(name); !ok || m.String() != name {
+			t.Fatalf("MechByName(%q) = %v, %v", name, m, ok)
+		}
+	}
+	if _, ok := MechByName("tsx"); ok {
+		t.Fatal("unknown mechanism resolved")
+	}
+}
