@@ -41,6 +41,7 @@ import (
 	"aamgo/internal/exec"
 	"aamgo/internal/graph"
 	"aamgo/internal/run"
+	"aamgo/internal/shard"
 	"aamgo/internal/stats"
 	"aamgo/internal/vtime"
 )
@@ -137,6 +138,14 @@ type Config struct {
 	LowerSingle bool
 	// Seed fixes workload and simulator randomness (default 1).
 	Seed int64
+	// Shards, when above 1, runs BFS, PageRank and Components on the
+	// sharded executor (internal/shard) instead of a single AAM runtime:
+	// one shard per vertex block on real goroutines, cross-shard operators
+	// coalesced into batches of C units, local application isolated by
+	// Mechanism. Results are identical to the single-runtime path (see the
+	// package shard docs); RunInfo.Stats stays empty — use ShardedBFS,
+	// ShardedPageRank or ShardedComponents for the per-shard counters.
+	Shards int
 }
 
 func (c Config) resolve() (exec.MachineProfile, Config, error) {
@@ -166,6 +175,16 @@ func (c Config) resolve() (exec.MachineProfile, Config, error) {
 		c.Seed = 1
 	}
 	return prof, c, nil
+}
+
+// sharded maps the façade Config onto the shard executor: C becomes the
+// coalescing batch size, Mechanism the per-shard isolation.
+func (c Config) sharded() shard.Config {
+	return shard.Config{
+		Shards:    c.Shards,
+		BatchSize: c.C,
+		Mechanism: c.Mechanism,
+	}
 }
 
 // predictM applies the sampling-based M prediction for graph g when
@@ -223,6 +242,13 @@ func BFS(g *Graph, src int, c Config) (BFSResult, error) {
 	if src < 0 || src >= g.N {
 		return BFSResult{}, fmt.Errorf("aamgo: BFS source %d out of range [0,%d)", src, g.N)
 	}
+	if c.Shards > 1 {
+		res, err := shard.BFS(g, src, c.sharded())
+		if err != nil {
+			return BFSResult{}, err
+		}
+		return BFSResult{Parents: res.Parents, RunInfo: RunInfo{Elapsed: res.Elapsed}}, nil
+	}
 	c = c.predictM(g, &prof)
 	b := algo.NewBFS(g, c.Nodes, algo.BFSConfig{
 		Mode:         algo.BFSAAM,
@@ -244,6 +270,13 @@ func PageRank(g *Graph, damping float64, iterations int, c Config) ([]float64, R
 	prof, c, err := c.resolve()
 	if err != nil {
 		return nil, RunInfo{}, err
+	}
+	if c.Shards > 1 {
+		res, err := shard.PageRank(g, damping, iterations, c.sharded())
+		if err != nil {
+			return nil, RunInfo{}, err
+		}
+		return res.Ranks, RunInfo{Elapsed: res.Elapsed}, nil
 	}
 	c = c.predictM(g, &prof)
 	p := algo.NewPageRank(g, c.Nodes, algo.PRConfig{
@@ -377,6 +410,13 @@ func Components(g *Graph, c Config) ([]int32, RunInfo, error) {
 	if err != nil {
 		return nil, RunInfo{}, err
 	}
+	if c.Shards > 1 {
+		res, err := shard.Components(g, c.sharded())
+		if err != nil {
+			return nil, RunInfo{}, err
+		}
+		return res.Labels, RunInfo{Elapsed: res.Elapsed}, nil
+	}
 	cc := algo.NewCC(g, c.Nodes)
 	m := run.New(c.Backend, exec.Config{
 		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
@@ -385,6 +425,57 @@ func Components(g *Graph, c Config) ([]int32, RunInfo, error) {
 	})
 	res := m.Run(cc.Body(c.engine(&prof)))
 	return cc.Labels(m), info(res), nil
+}
+
+// Sharded execution (internal/shard): BFS, PageRank and connected
+// components across multiple graph shards on real goroutines, with
+// cross-shard active messages routed through per-destination coalescing
+// buffers and applied as batched May-Fail operators. ShardedConfig gives
+// full control (workers per shard, flush policy, heterogeneous per-shard
+// mechanisms); Config.Shards is the one-knob version.
+type (
+	// ShardedConfig shapes a sharded execution (shards, workers per shard,
+	// coalescing batch size, flush policy, isolation mechanisms).
+	ShardedConfig = shard.Config
+	// ShardedStats is one shard's execution counters (local/remote
+	// operator counts, aborts, retries, serializations, combines).
+	ShardedStats = shard.Stats
+	// ShardedResult carries wall time, epoch count and per-shard stats.
+	ShardedResult = shard.Result
+	// ShardedBFSResult is the sharded BFS outcome (parents + counters).
+	ShardedBFSResult = shard.BFSResult
+	// ShardedPRResult is the sharded PageRank outcome (ranks + counters).
+	ShardedPRResult = shard.PRResult
+	// ShardedCCResult is the sharded components outcome (labels + counters).
+	ShardedCCResult = shard.CCResult
+	// FlushPolicy selects when coalescing buffers flush (eager, at batch
+	// size, or at the epoch barrier).
+	FlushPolicy = shard.FlushPolicy
+)
+
+// Coalescing-buffer flush policies.
+const (
+	FlushBySize  = shard.FlushBySize
+	FlushEager   = shard.FlushEager
+	FlushByEpoch = shard.FlushByEpoch
+)
+
+// ShardedBFS runs the shard-parallel BFS from src with full per-shard
+// reporting; results are identical to BFS (see package shard).
+func ShardedBFS(g *Graph, src int, cfg ShardedConfig) (ShardedBFSResult, error) {
+	return shard.BFS(g, src, cfg)
+}
+
+// ShardedPageRank runs the shard-parallel PageRank; the rank vector is
+// bit-identical to PageRank's (exact fixed-point accumulation).
+func ShardedPageRank(g *Graph, damping float64, iterations int, cfg ShardedConfig) (ShardedPRResult, error) {
+	return shard.PageRank(g, damping, iterations, cfg)
+}
+
+// ShardedComponents runs the shard-parallel connected components; labels
+// are identical to Components'.
+func ShardedComponents(g *Graph, cfg ShardedConfig) (ShardedCCResult, error) {
+	return shard.Components(g, cfg)
 }
 
 // Dynamic-graph subsystem (internal/dyn): a mutable graph whose edge

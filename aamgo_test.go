@@ -379,3 +379,60 @@ func TestDynGraphFacade(t *testing.T) {
 		t.Fatal("incremental CC missed the new edge")
 	}
 }
+
+func TestShardedFacade(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+
+	// Config.Shards routes through the sharded executor; the tree must
+	// still be rooted and the depth structure matches the dedicated
+	// sharded entry point.
+	res, err := aamgo.BFS(g, src, aamgo.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parents[src] != int64(src) {
+		t.Fatalf("source parent = %d", res.Parents[src])
+	}
+
+	sres, err := aamgo.ShardedBFS(g, src, aamgo.ShardedConfig{
+		Shards: 4, BatchSize: 16, Flush: aamgo.FlushBySize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sres.Totals()
+	if tot.RemoteUnitsSent == 0 || tot.RemoteUnitsSent != tot.RemoteUnitsRecv {
+		t.Fatalf("remote units sent=%d recv=%d", tot.RemoteUnitsSent, tot.RemoteUnitsRecv)
+	}
+
+	// Sharded PageRank is bit-identical to the single-runtime ranks.
+	single, _, err := aamgo.PageRank(g, 0.85, 5, aamgo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := aamgo.PageRank(g, 0.85, 5, aamgo.Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range single {
+		if single[v] != sharded[v] {
+			t.Fatalf("rank[%d]: sharded %g != single-runtime %g", v, sharded[v], single[v])
+		}
+	}
+
+	// Sharded components agree with the single-runtime labeling.
+	want, _, err := aamgo.Components(g, aamgo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := aamgo.Components(g, aamgo.Config{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("label[%d]: sharded %d != single-runtime %d", v, got[v], want[v])
+		}
+	}
+}

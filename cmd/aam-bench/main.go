@@ -5,17 +5,21 @@
 //
 //	aam-bench -list
 //	aam-bench -run fig4-bgq [-scale 2] [-csv out/]
+//	aam-bench -run sharded,streaming -json BENCH_ci.json
 //	aam-bench -all [-scale 0]
 //
 // Each experiment prints its data tables, free-form notes, and the shape
 // checks that encode the paper's qualitative findings. -scale adds powers
 // of two to the reduced default problem sizes (≈7 reaches the paper's).
+// -json additionally writes the machine-readable metrics of every run
+// experiment (consumed by aam-benchdiff in the bench-smoke CI gate).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"aamgo/internal/bench"
@@ -23,14 +27,17 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		runID = flag.String("run", "", "run one experiment by id")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.Int("scale", 0, "problem-size shift added to reduced defaults")
-		csv   = flag.String("csv", "", "directory for per-table CSV dumps")
-		seed  = flag.Int64("seed", 42, "workload seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		runID    = flag.String("run", "", "run one experiment by id")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Int("scale", 0, "problem-size shift added to reduced defaults")
+		csv      = flag.String("csv", "", "directory for per-table CSV dumps")
+		jsonPath = flag.String("json", "", "file for machine-readable metrics (bench-smoke CI gate)")
+		seed     = flag.Int64("seed", 42, "workload seed")
 	)
 	flag.Parse()
+
+	ci := bench.CIReport{Scale: *scale, Seed: *seed}
 
 	switch {
 	case *list:
@@ -41,13 +48,22 @@ func main() {
 		return
 
 	case *runID != "":
-		runOne(*runID, bench.Options{Scale: *scale, Out: os.Stdout, CSVDir: *csv, Seed: *seed})
+		failures := 0
+		for _, id := range strings.Split(*runID, ",") {
+			failures += runOne(strings.TrimSpace(id), bench.Options{Scale: *scale, Out: os.Stdout, CSVDir: *csv, Seed: *seed}, &ci)
+		}
+		writeCI(*jsonPath, ci)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "aam-bench: %d shape checks failed\n", failures)
+			os.Exit(1)
+		}
 
 	case *all:
 		failures := 0
 		for _, e := range bench.Experiments() {
-			failures += runOne(e.ID, bench.Options{Scale: *scale, Out: os.Stdout, CSVDir: *csv, Seed: *seed})
+			failures += runOne(e.ID, bench.Options{Scale: *scale, Out: os.Stdout, CSVDir: *csv, Seed: *seed}, &ci)
 		}
+		writeCI(*jsonPath, ci)
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "aam-bench: %d shape checks failed\n", failures)
 			os.Exit(1)
@@ -59,15 +75,28 @@ func main() {
 	}
 }
 
-func runOne(id string, o bench.Options) int {
+func runOne(id string, o bench.Options, ci *bench.CIReport) int {
 	t0 := time.Now()
 	rep, err := bench.RunOne(id, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aam-bench:", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(t0)
+	ci.Add(rep, float64(elapsed.Nanoseconds())/1e6)
 	failed := rep.FailedChecks()
 	fmt.Printf("(%s finished in %v; %d/%d shape checks passed)\n\n",
-		id, time.Since(t0).Round(time.Millisecond), len(rep.Checks)-len(failed), len(rep.Checks))
+		id, elapsed.Round(time.Millisecond), len(rep.Checks)-len(failed), len(rep.Checks))
 	return len(failed)
+}
+
+func writeCI(path string, ci bench.CIReport) {
+	if path == "" {
+		return
+	}
+	if err := bench.WriteCI(path, ci); err != nil {
+		fmt.Fprintln(os.Stderr, "aam-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote metrics for %d experiment(s) to %s\n", len(ci.Experiments), path)
 }

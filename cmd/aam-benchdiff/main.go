@@ -1,0 +1,138 @@
+// Command aam-benchdiff is the bench-smoke regression gate: it compares a
+// fresh aam-bench -json run against a committed baseline and fails when a
+// shared metric regresses beyond the threshold.
+//
+// Usage:
+//
+//	aam-benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json [-threshold 0.20]
+//
+// Metrics gate in two classes, by name: throughput metrics (containing
+// ".tput.") are higher-is-better and regress when
+// current < baseline × (1 − threshold) — the committed baseline holds
+// conservative floors for them; every other metric is a deterministic
+// count (message/batch totals, reduction ratios) for a fixed scale and
+// seed, and must match the baseline exactly — any drift, in either
+// direction, means the messaging behavior changed and the baseline needs
+// a deliberate refresh. Metrics present in only one file are reported but
+// do not fail the gate (new scenarios appear before their baseline
+// lands). Failed shape checks in the current run always fail the gate.
+// To refresh the baseline after an intentional performance or workload
+// change, rerun aam-bench with the same -scale/-seed the CI job uses,
+// re-relax the throughput floors, and commit the new file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"aamgo/internal/bench"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "committed baseline metrics")
+		curPath   = flag.String("current", "BENCH_ci.json", "freshly generated metrics")
+		threshold = flag.Float64("threshold", 0.20, "allowed fractional drop before failing")
+	)
+	flag.Parse()
+	if *threshold < 0 || *threshold >= 1 {
+		fatalf("threshold %v out of range [0,1)", *threshold)
+	}
+
+	base, err := bench.ReadCI(*basePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := bench.ReadCI(*curPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if base.Scale != cur.Scale || base.Seed != cur.Seed {
+		fatalf("baseline (scale %d, seed %d) and current (scale %d, seed %d) are not comparable; "+
+			"regenerate the baseline with the CI job's flags",
+			base.Scale, base.Seed, cur.Scale, cur.Seed)
+	}
+
+	regressions, compared := 0, 0
+	for _, id := range sortedKeys(cur.Experiments) {
+		ce := cur.Experiments[id]
+		if ce.ChecksFailed > 0 {
+			fmt.Printf("FAIL %s: %d shape check(s) failed in the current run\n", id, ce.ChecksFailed)
+			regressions++
+		}
+		be, ok := base.Experiments[id]
+		if !ok {
+			fmt.Printf("note %s: no baseline entry (new experiment?)\n", id)
+			continue
+		}
+		for _, name := range sortedKeys(ce.Metrics) {
+			curV := ce.Metrics[name]
+			baseV, ok := be.Metrics[name]
+			if !ok {
+				fmt.Printf("note %s/%s: no baseline metric (new metric?)\n", id, name)
+				continue
+			}
+			compared++
+			if strings.Contains(name, ".tput.") {
+				floor := baseV * (1 - *threshold)
+				status := "ok  "
+				if curV < floor {
+					status = "FAIL"
+					regressions++
+				}
+				fmt.Printf("%s %s/%s: current %.4g vs baseline floor %.4g (%.4g − %.0f%%)\n",
+					status, id, name, curV, floor, baseV, *threshold*100)
+				continue
+			}
+			// Deterministic count: exact match (tiny relative epsilon for
+			// float ratios), both directions — a drop AND a rise mean the
+			// messaging behavior changed.
+			status := "ok  "
+			if !almostEqual(curV, baseV) {
+				status = "FAIL"
+				regressions++
+			}
+			fmt.Printf("%s %s/%s: current %.10g vs baseline %.10g (exact)\n",
+				status, id, name, curV, baseV)
+		}
+		for _, name := range sortedKeys(be.Metrics) {
+			if _, ok := ce.Metrics[name]; !ok {
+				fmt.Printf("note %s/%s: baseline metric missing from current run\n", id, name)
+			}
+		}
+	}
+
+	if regressions > 0 {
+		fatalf("%d regression(s) across %d compared metric(s); "+
+			"if intentional, refresh the baseline (see aam-benchdiff doc)", regressions, compared)
+	}
+	fmt.Printf("no regressions across %d compared metric(s)\n", compared)
+}
+
+// almostEqual compares within 1e-9 relative tolerance (deterministic
+// ratios survive JSON round-tripping; this absorbs formatting noise only).
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aam-benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

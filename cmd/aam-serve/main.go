@@ -14,6 +14,7 @@
 //	aam-serve -gen kron -scale 10                # serve a Kronecker graph
 //	curl -X POST localhost:8080/edges -d '{"edges":[[0,1],[1,2]]}'
 //	curl 'localhost:8080/query/bfs?src=0'
+//	curl 'localhost:8080/query/bfs?src=0&shards=4'   # sharded executor
 //	curl 'localhost:8080/query/cc'
 //	curl 'localhost:8080/stats'
 //

@@ -379,6 +379,32 @@ func ValidateBFSTree(g *graph.Graph, src int, parents []int64, refDist []int32) 
 	return nil
 }
 
+// BFSDepths converts a parent vector to the per-vertex depth vector
+// (-1 = unreachable), settling iteratively so it is independent of the
+// order vertices were discovered in. Two BFS runs agree level-for-level
+// exactly when their depth vectors match, which is how order-insensitive
+// implementations (sharded, coalesced) are compared against references.
+func BFSDepths(g *graph.Graph, src int, parents []int64) []int32 {
+	d := make([]int32, g.N)
+	for v := range d {
+		d[v] = -1
+	}
+	d[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			if d[v] >= 0 || parents[v] < 0 {
+				continue
+			}
+			if p := parents[v]; d[p] >= 0 {
+				d[v] = d[p] + 1
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

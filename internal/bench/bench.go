@@ -80,6 +80,20 @@ type Report struct {
 	Tables []*Table
 	Notes  []string
 	Checks []Check
+	// Metrics are machine-readable scalar outcomes keyed by dotted names
+	// (aam-bench -json dumps them; the bench-smoke CI gate compares them
+	// across runs). Every metric is higher-is-better; deterministic counts
+	// (message/batch totals, rounds) gate exactly, throughput figures gate
+	// within the regression threshold.
+	Metrics map[string]float64
+}
+
+// Metricf records one machine-readable metric.
+func (r *Report) Metricf(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
 }
 
 // NewTable creates, registers and returns a table.
@@ -232,6 +246,17 @@ func Render(w io.Writer, r *Report) error {
 		b.WriteString("\nnotes:\n")
 		for _, n := range r.Notes {
 			fmt.Fprintf(&b, "  * %s\n", n)
+		}
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("\nmetrics:\n")
+		names := make([]string, 0, len(r.Metrics))
+		for n := range r.Metrics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-36s %.4g\n", n, r.Metrics[n])
 		}
 	}
 	if len(r.Checks) > 0 {

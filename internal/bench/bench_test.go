@@ -23,6 +23,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"abl-coarsen", "abl-coalesce", "abl-visited-check", "abl-mselect",
 		"abl-mechanisms", "abl-lower", "abl-predict",
 		"streaming",
+		"sharded",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"aamgo/internal/algo"
+	"aamgo/internal/graph"
+	"aamgo/internal/shard"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sharded",
+		Title: "Sharded execution: shard-count scaling and coalescing batch-size sweep",
+		Paper: "Beyond the paper's single-runtime machines: the activity-coalescing " +
+			"lever of §4.2/Figure 5 applied to inter-shard traffic. One AAM-style " +
+			"worker per shard, cross-shard operators batched per destination; the " +
+			"sweep shows batching collapsing the message count while results stay " +
+			"identical to the single-runtime algorithms.",
+		Run: runSharded,
+	})
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+func runSharded(o Options) *Report {
+	rep := &Report{}
+	scale := o.shift(11, 6)
+	g := graph.Kronecker(scale, 8, o.Seed)
+	src := 0
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) > g.Degree(src) {
+			src = v
+		}
+	}
+	arcs := float64(g.NumEdges())
+
+	refDepth := algo.SeqBFS(g, src)
+	refCC := algo.SeqComponents(g)
+	var refPR []float64
+
+	// Part 1: shard-count sweep per algorithm. Workers=1, so the shard is
+	// the unit of parallelism; wall time is real goroutine execution.
+	t := rep.NewTable("wall time by shard count (workers=1, batch=64)",
+		"algo", "shards", "wall-ms", "speedup", "epochs", "local-ops", "remote-units", "remote-batches")
+	type runner struct {
+		name string
+		run  func(cfg shard.Config) (shard.Result, error)
+	}
+	runners := []runner{
+		{"bfs", func(cfg shard.Config) (shard.Result, error) {
+			res, err := shard.BFS(g, src, cfg)
+			if err != nil {
+				return shard.Result{}, err
+			}
+			if err := algo.ValidateBFSTree(g, src, res.Parents, refDepth); err != nil {
+				return shard.Result{}, fmt.Errorf("at %d shards: %v", cfg.Shards, err)
+			}
+			return res.Result, nil
+		}},
+		{"pagerank", func(cfg shard.Config) (shard.Result, error) {
+			res, err := shard.PageRank(g, 0.85, 5, cfg)
+			if err != nil {
+				return shard.Result{}, err
+			}
+			// Fixed-point accumulation is exact: every shard count must
+			// produce the bit-identical rank vector.
+			if refPR == nil {
+				refPR = res.Ranks
+			} else if !reflect.DeepEqual(res.Ranks, refPR) {
+				return shard.Result{}, fmt.Errorf("pagerank ranks diverge at %d shards", cfg.Shards)
+			}
+			return res.Result, nil
+		}},
+		{"cc", func(cfg shard.Config) (shard.Result, error) {
+			res, err := shard.Components(g, cfg)
+			if err != nil {
+				return shard.Result{}, err
+			}
+			if !reflect.DeepEqual(res.Labels, refCC) {
+				return shard.Result{}, fmt.Errorf("cc labels diverge at %d shards", cfg.Shards)
+			}
+			return res.Result, nil
+		}},
+	}
+
+	identical := true
+	for _, r := range runners {
+		var base time.Duration
+		for _, shards := range shardCounts {
+			cfg := shard.Config{Shards: shards, BatchSize: 64}
+			res, err := r.run(cfg)
+			if err != nil {
+				identical = false
+				rep.Notef("FAILED: %v", err)
+				continue
+			}
+			// Best-of-5 wall time: goroutine scheduling noise is one-sided
+			// (slowdowns only), so the minimum is the stable estimator.
+			for rep2 := 0; rep2 < 4; rep2++ {
+				if again, err := r.run(cfg); err == nil && again.Elapsed < res.Elapsed {
+					res.Elapsed = again.Elapsed
+				}
+			}
+			if shards == 1 {
+				base = res.Elapsed
+			}
+			tot := res.Totals()
+			speedup := float64(base) / float64(res.Elapsed)
+			t.AddRow(r.name, itoa(shards),
+				fmt.Sprintf("%.2f", float64(res.Elapsed.Nanoseconds())/1e6),
+				fmt.Sprintf("%.2f", speedup), itoa(res.Epochs),
+				utoa(tot.LocalOps), utoa(tot.RemoteUnitsSent), utoa(tot.RemoteBatchesSent))
+			// Deterministic traffic metrics (exact across machines) and a
+			// throughput figure (arcs per wall-second, machine-dependent).
+			if shards == 4 {
+				rep.Metricf(r.name+".remote_units.s4", float64(tot.RemoteUnitsSent))
+				rep.Metricf(r.name+".remote_batches.s4", float64(tot.RemoteBatchesSent))
+				rep.Metricf(r.name+".tput.keps.s4",
+					arcs*float64(res.Epochs)/res.Elapsed.Seconds()/1e3)
+			}
+		}
+	}
+	rep.Checkf(identical, "sharded results identical",
+		"BFS depths and CC labels match sequential references; PageRank ranks bit-identical across shards %v", shardCounts)
+
+	// Part 2: coalescing batch-size sweep at 4 shards — the inter-shard
+	// analogue of Figure 5's C sweep. Unit counts are invariant; the
+	// batch count must fall as the factor grows.
+	bt := rep.NewTable("BFS coalescing sweep (4 shards)",
+		"policy", "batch", "wall-ms", "remote-units", "remote-batches", "units/batch")
+	type sweepPoint struct {
+		policy shard.FlushPolicy
+		batch  int
+	}
+	sweep := []sweepPoint{
+		{shard.FlushEager, 1},
+		{shard.FlushBySize, 8},
+		{shard.FlushBySize, 64},
+		{shard.FlushBySize, 512},
+		{shard.FlushByEpoch, 0},
+	}
+	var units, batches []uint64
+	for _, p := range sweep {
+		cfg := shard.Config{Shards: 4, BatchSize: p.batch, Flush: p.policy}
+		res, err := shard.BFS(g, src, cfg)
+		if err != nil {
+			rep.Checkf(false, "sweep runs", "%v", err)
+			return rep
+		}
+		tot := res.Totals()
+		perBatch := 0.0
+		if tot.RemoteBatchesSent > 0 {
+			perBatch = float64(tot.RemoteUnitsSent) / float64(tot.RemoteBatchesSent)
+		}
+		label := p.policy.String()
+		if p.policy == shard.FlushBySize {
+			label = fmt.Sprintf("size=%d", p.batch)
+		}
+		bt.AddRow(label, itoa(p.batch),
+			fmt.Sprintf("%.2f", float64(res.Elapsed.Nanoseconds())/1e6),
+			utoa(tot.RemoteUnitsSent), utoa(tot.RemoteBatchesSent),
+			fmt.Sprintf("%.1f", perBatch))
+		units = append(units, tot.RemoteUnitsSent)
+		batches = append(batches, tot.RemoteBatchesSent)
+	}
+	unitsInvariant, batchesMonotone := true, true
+	for i := 1; i < len(sweep); i++ {
+		if units[i] != units[0] {
+			unitsInvariant = false
+		}
+		if batches[i] > batches[i-1] {
+			batchesMonotone = false
+		}
+	}
+	rep.Checkf(unitsInvariant, "units invariant under batching",
+		"every policy sends the same %d cross-shard units", units[0])
+	rep.Checkf(batchesMonotone, "batching collapses messages",
+		"batch count falls monotonically from %d (eager) to %d (epoch)",
+		batches[0], batches[len(batches)-1])
+	if batches[len(batches)-1] > 0 {
+		rep.Metricf("bfs.batch_reduction", float64(batches[0])/float64(batches[len(batches)-1]))
+	}
+
+	rep.Notef("graph: Kronecker scale %d (%d vertices, %d arcs), src=%d", scale, g.N, g.NumEdges(), src)
+	rep.Notef("speedup is relative wall time vs 1 shard and is bounded by GOMAXPROCS; " +
+		"R-MAT graphs under the 1-D block partition are remote-heavy (≈(S-1)/S of arcs cross shards), " +
+		"so batching — not shard count — is the lever this sweep isolates (compare the eager row)")
+	rep.Notef("tput.keps = stored arcs × epochs / best-of-5 wall-second / 1e3 (machine-dependent; " +
+		"the committed CI baseline holds conservative floors for it); " +
+		"remote_units/remote_batches/batch_reduction are deterministic for a fixed seed and scale")
+	return rep
+}

@@ -195,7 +195,7 @@ func runStreaming(o Options) *Report {
 
 	rep.Notef("workload: %d-vertex community graph, %d batches × %d mixed mutations (75%% insert)",
 		n, batches, perBatch)
-	rep.Notef("every edge operator reads+writes both endpoint version words; "+
+	rep.Notef("every edge operator reads+writes both endpoint version words; " +
 		"batch semantics: all operators validate against the pre-batch snapshot")
 	return rep
 }

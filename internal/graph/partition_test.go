@@ -1,0 +1,151 @@
+package graph
+
+import "testing"
+
+// checkInvariants verifies the structural contract of one partition: the
+// node ranges are disjoint, contiguous, cover [0, n) exactly, every vertex
+// maps to the node whose range contains it, local/global conversion
+// round-trips, and MaxLocal bounds every block.
+func checkInvariants(t *testing.T, n, nodes int) {
+	t.Helper()
+	p := NewPartition(n, nodes)
+	if p.Nodes < 1 {
+		t.Fatalf("n=%d nodes=%d: Nodes=%d, want >= 1", n, nodes, p.Nodes)
+	}
+
+	covered := 0
+	prevHi := 0
+	for node := 0; node < p.Nodes; node++ {
+		lo, hi := p.Range(node)
+		if lo > hi {
+			t.Fatalf("n=%d nodes=%d node=%d: inverted range [%d,%d)", n, nodes, node, lo, hi)
+		}
+		if lo != prevHi && !(lo >= n && hi >= n) {
+			// Ranges must be contiguous until the vertex set is exhausted;
+			// surplus nodes collapse to empty ranges clamped at n.
+			t.Fatalf("n=%d nodes=%d node=%d: range [%d,%d) not contiguous after %d", n, nodes, node, lo, hi, prevHi)
+		}
+		if hi-lo > p.MaxLocal() {
+			t.Fatalf("n=%d nodes=%d node=%d: block %d exceeds MaxLocal %d", n, nodes, node, hi-lo, p.MaxLocal())
+		}
+		covered += hi - lo
+		prevHi = hi
+	}
+	if covered != n {
+		t.Fatalf("n=%d nodes=%d: ranges cover %d vertices", n, nodes, covered)
+	}
+
+	for v := 0; v < n; v++ {
+		o := p.Owner(v)
+		if o < 0 || o >= p.Nodes {
+			t.Fatalf("n=%d nodes=%d: Owner(%d)=%d out of range", n, nodes, v, o)
+		}
+		lo, hi := p.Range(o)
+		if v < lo || v >= hi {
+			t.Fatalf("n=%d nodes=%d: vertex %d not inside its owner's range [%d,%d)", n, nodes, v, lo, hi)
+		}
+		lv := p.Local(v)
+		if lv < 0 || lv >= p.MaxLocal() {
+			t.Fatalf("n=%d nodes=%d: Local(%d)=%d outside [0,%d)", n, nodes, v, lv, p.MaxLocal())
+		}
+		if g := p.Global(o, lv); g != v {
+			t.Fatalf("n=%d nodes=%d: Global(Owner(%d), Local(%d)) = %d", n, nodes, v, v, g)
+		}
+	}
+}
+
+func TestPartitionInvariantsSweep(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 7, 8, 16, 63, 64, 65, 1000} {
+		for _, nodes := range []int{1, 2, 3, 4, 7, 8, 64, 100} {
+			checkInvariants(t, n, nodes)
+		}
+	}
+}
+
+// TestPartitionMoreNodesThanVertices pins the n < nodes behavior: one
+// vertex per leading node, surplus nodes own empty ranges, and Owner never
+// escapes [0, Nodes).
+func TestPartitionMoreNodesThanVertices(t *testing.T) {
+	p := NewPartition(3, 8)
+	for v := 0; v < 3; v++ {
+		if got := p.Owner(v); got != v {
+			t.Fatalf("Owner(%d) = %d, want %d", v, got, v)
+		}
+	}
+	empty := 0
+	for node := 0; node < 8; node++ {
+		if lo, hi := p.Range(node); lo == hi {
+			empty++
+		}
+	}
+	if empty != 5 {
+		t.Fatalf("%d empty nodes, want 5", empty)
+	}
+}
+
+// TestPartitionEmptyGraph pins the n == 0 degenerate: every range is
+// empty and MaxLocal is 0, so callers size zero-length state regions.
+func TestPartitionEmptyGraph(t *testing.T) {
+	p := NewPartition(0, 4)
+	if p.MaxLocal() != 0 {
+		t.Fatalf("MaxLocal = %d, want 0", p.MaxLocal())
+	}
+	for node := 0; node < 4; node++ {
+		if lo, hi := p.Range(node); lo != 0 || hi != 0 {
+			t.Fatalf("Range(%d) = [%d,%d), want empty", node, lo, hi)
+		}
+	}
+}
+
+// TestPartitionSingleVertex covers n == 1 across node counts.
+func TestPartitionSingleVertex(t *testing.T) {
+	for _, nodes := range []int{1, 2, 16} {
+		p := NewPartition(1, nodes)
+		if p.Owner(0) != 0 || p.Local(0) != 0 || p.Global(0, 0) != 0 {
+			t.Fatalf("nodes=%d: vertex 0 maps to (%d,%d)", nodes, p.Owner(0), p.Local(0))
+		}
+	}
+}
+
+// TestPartitionNonPositiveNodes pins the nodes < 1 normalization.
+func TestPartitionNonPositiveNodes(t *testing.T) {
+	for _, nodes := range []int{0, -3} {
+		p := NewPartition(10, nodes)
+		if p.Nodes != 1 {
+			t.Fatalf("NewPartition(10, %d).Nodes = %d, want 1", nodes, p.Nodes)
+		}
+		if lo, hi := p.Range(0); lo != 0 || hi != 10 {
+			t.Fatalf("Range(0) = [%d,%d), want [0,10)", lo, hi)
+		}
+	}
+}
+
+// TestPartitionSkewedDegrees checks that the 1-D block distribution stays
+// structurally sound on a highly skewed graph (power-law hub + heavy
+// tail): ownership is degree-agnostic, so every arc endpoint must resolve
+// to a valid (owner, local) pair and per-node arc totals must sum to the
+// graph's arcs.
+func TestPartitionSkewedDegrees(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, 99)
+	for _, nodes := range []int{3, 8, 17} {
+		p := NewPartition(g.N, nodes)
+		arcs := make([]int64, nodes)
+		for v := 0; v < g.N; v++ {
+			o := p.Owner(v)
+			arcs[o] += int64(g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				ow := p.Owner(int(w))
+				if p.Global(ow, p.Local(int(w))) != int(w) {
+					t.Fatalf("nodes=%d: endpoint %d does not round-trip", nodes, w)
+				}
+			}
+		}
+		var total int64
+		for _, a := range arcs {
+			total += a
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("nodes=%d: per-node arcs sum to %d, want %d", nodes, total, g.NumEdges())
+		}
+	}
+}

@@ -19,12 +19,20 @@
 //
 // Mutation endpoints accept ?mech={htm,atomic,lock,occ,flatcomb} to
 // override the server's default isolation mechanism per request.
+//
+// Query endpoints accept ?shards=N (N > 1) to run the analytics on the
+// sharded executor (internal/shard) over the frozen snapshot instead of a
+// single AAM runtime: one shard per vertex block on real goroutines,
+// cross-shard operators coalesced into batches of C units. ?mech= then
+// selects the per-shard isolation mechanism. Results are identical to the
+// single-runtime path; responses gain shard/messaging counters.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -35,6 +43,7 @@ import (
 	"aamgo/internal/dyn"
 	"aamgo/internal/exec"
 	"aamgo/internal/run"
+	"aamgo/internal/shard"
 	"aamgo/internal/stats"
 )
 
@@ -180,6 +189,42 @@ func (s *Server) txConfig(r *http.Request) (dyn.TxConfig, error) {
 		C:         s.cfg.C,
 		Seed:      s.cfg.Seed,
 	}, nil
+}
+
+// shardCfg derives a sharded-executor config from ?shards= (and ?mech=).
+// shards == 0 means the single-runtime path. The upper bound mirrors the
+// executor's own sanity cap (64 shards per processor), so every value the
+// endpoint accepts is one the executor will run.
+func (s *Server) shardCfg(r *http.Request) (shard.Config, int, error) {
+	v := r.URL.Query().Get("shards")
+	if v == "" {
+		return shard.Config{}, 0, nil
+	}
+	maxShards := 64 * runtime.GOMAXPROCS(0)
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 || n > maxShards {
+		return shard.Config{}, 0, fmt.Errorf("bad shards %q (want 1..%d on this server)", v, maxShards)
+	}
+	mech := s.cfg.Mechanism
+	if name := r.URL.Query().Get("mech"); name != "" {
+		var ok bool
+		if mech, ok = MechByName(name); !ok {
+			return shard.Config{}, 0, fmt.Errorf("unknown mechanism %q", name)
+		}
+	}
+	return shard.Config{Shards: n, BatchSize: s.cfg.C, Mechanism: mech}, n, nil
+}
+
+// shardSummary renders the messaging counters of a sharded run.
+func shardSummary(n int, res shard.Result) map[string]any {
+	tot := res.Totals()
+	return map[string]any{
+		"shards":         n,
+		"epochs":         res.Epochs,
+		"local_ops":      tot.LocalOps,
+		"remote_units":   tot.RemoteUnitsSent,
+		"remote_batches": tot.RemoteBatchesSent,
+	}
 }
 
 // MechByName resolves the wire names of the five isolation mechanisms.
@@ -345,6 +390,40 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, f.N)
 		return
 	}
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if shards > 1 {
+		t0 := time.Now()
+		res, err := shard.BFS(f, src, scfg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.queries.Add(1)
+		reached := 0
+		for _, p := range res.Parents {
+			if p >= 0 {
+				reached++
+			}
+		}
+		out := map[string]any{
+			"src":          src,
+			"epoch":        snap.Epoch(),
+			"n":            f.N,
+			"reached":      reached,
+			"levels":       res.Levels,
+			"sharded":      shardSummary(shards, res.Result),
+			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		}
+		if r.URL.Query().Get("full") == "1" {
+			out["parents"] = res.Parents
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
 	b := algo.NewBFS(f, 1, algo.BFSConfig{
 		Mode: algo.BFSAAM, Engine: s.engineCfg(), VisitedCheck: true,
 	})
@@ -377,6 +456,38 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if shards > 1 {
+		snap := s.g.Snapshot()
+		t0 := time.Now()
+		res, err := shard.Components(snap.Freeze(), scfg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.queries.Add(1)
+		distinct := map[int32]struct{}{}
+		for _, l := range res.Labels {
+			distinct[l] = struct{}{}
+		}
+		out := map[string]any{
+			"components":   len(distinct),
+			"n":            snap.N(),
+			"epoch":        snap.Epoch(),
+			"rounds":       res.Rounds,
+			"sharded":      shardSummary(shards, res.Result),
+			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		}
+		if r.URL.Query().Get("full") == "1" {
+			out["labels"] = res.Labels
+		}
+		s.writeJSON(w, http.StatusOK, out)
 		return
 	}
 	t0 := time.Now()
@@ -426,8 +537,31 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	snap := s.g.Snapshot()
 	f := snap.Freeze()
+	if shards > 1 {
+		t0 := time.Now()
+		res, err := shard.PageRank(f, damping, iters, scfg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.queries.Add(1)
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"iters":        iters,
+			"damping":      damping,
+			"epoch":        snap.Epoch(),
+			"top":          topRanked(res.Ranks, top),
+			"sharded":      shardSummary(shards, res.Result),
+			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		})
+		return
+	}
 	p := algo.NewPageRank(f, 1, algo.PRConfig{
 		Damping: damping, Iterations: iters, Engine: s.engineCfg(),
 	})
@@ -437,6 +571,18 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	ranks := p.Ranks(m)
 	s.queries.Add(1)
 
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"iters":           iters,
+		"damping":         damping,
+		"epoch":           snap.Epoch(),
+		"top":             topRanked(ranks, top),
+		"machine_time_ns": int64(res.Elapsed),
+		"wall_time_ns":    time.Since(t0).Nanoseconds(),
+	})
+}
+
+// topRanked returns the top vertices by rank, descending.
+func topRanked(ranks []float64, top int) []rankedVertex {
 	idx := make([]int, len(ranks))
 	for i := range idx {
 		idx[i] = i
@@ -449,26 +595,19 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < top; i++ {
 		best[i] = rankedVertex{V: idx[i], Rank: ranks[idx[i]]}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"iters":           iters,
-		"damping":         damping,
-		"epoch":           snap.Epoch(),
-		"top":             best,
-		"machine_time_ns": int64(res.Elapsed),
-		"wall_time_ns":    time.Since(t0).Nanoseconds(),
-	})
+	return best
 }
 
 type statsResponse struct {
-	UptimeNS     int64        `json:"uptime_ns"`
-	Requests     uint64       `json:"requests"`
-	Queries      uint64       `json:"queries"`
-	Mutations    uint64       `json:"mutation_batches"`
-	BadRequests  uint64       `json:"bad_requests"`
-	Graph        dyn.CumStats `json:"graph"`
-	TxCommitted  uint64       `json:"tx_committed"`
-	TxAborts     uint64       `json:"tx_aborts"`
-	TxSerialized uint64       `json:"tx_serialized"`
+	UptimeNS     int64             `json:"uptime_ns"`
+	Requests     uint64            `json:"requests"`
+	Queries      uint64            `json:"queries"`
+	Mutations    uint64            `json:"mutation_batches"`
+	BadRequests  uint64            `json:"bad_requests"`
+	Graph        dyn.CumStats      `json:"graph"`
+	TxCommitted  uint64            `json:"tx_committed"`
+	TxAborts     uint64            `json:"tx_aborts"`
+	TxSerialized uint64            `json:"tx_serialized"`
 	AbortReasons map[string]uint64 `json:"abort_reasons"`
 }
 

@@ -287,3 +287,54 @@ func TestMechByName(t *testing.T) {
 		t.Fatal("unknown mechanism resolved")
 	}
 }
+
+func TestShardedQueries(t *testing.T) {
+	base := graph.Community(200, 10, 4, 0.05, 9)
+	ts, g := newTestServer(t, base, Config{C: 8})
+
+	// Sharded BFS must reach the same vertex set as the single-runtime
+	// path and report the messaging counters.
+	single := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1", nil, 200)
+	sharded := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1&shards=4", nil, 200)
+	if single["reached"] != sharded["reached"] {
+		t.Fatalf("reached: single %v vs sharded %v", single["reached"], sharded["reached"])
+	}
+	sum, ok := sharded["sharded"].(map[string]any)
+	if !ok || sum["shards"].(float64) != 4 {
+		t.Fatalf("missing shard summary: %v", sharded["sharded"])
+	}
+	if sum["remote_units"].(float64) <= 0 {
+		t.Fatalf("no cross-shard traffic recorded: %v", sum)
+	}
+
+	// Sharded CC agrees with the incremental component count, and the
+	// sharded labels match the sequential recompute exactly.
+	ccSingle := doJSON(t, "GET", ts.URL+"/query/cc", nil, 200)
+	ccSharded := doJSON(t, "GET", ts.URL+"/query/cc?shards=3&full=1", nil, 200)
+	if ccSingle["components"] != ccSharded["components"] {
+		t.Fatalf("components: single %v vs sharded %v", ccSingle["components"], ccSharded["components"])
+	}
+	want := algo.SeqComponents(g.Freeze())
+	labels := ccSharded["labels"].([]any)
+	for v, l := range labels {
+		if int32(l.(float64)) != want[v] {
+			t.Fatalf("label[%d] = %v, want %d", v, l, want[v])
+		}
+	}
+
+	// Sharded PageRank returns the same top list (ranks are bit-identical,
+	// so ordering ties resolve the same way).
+	prSingle := doJSON(t, "GET", ts.URL+"/query/pagerank?iters=3&top=5", nil, 200)
+	prSharded := doJSON(t, "GET", ts.URL+"/query/pagerank?iters=3&top=5&shards=4", nil, 200)
+	if !reflect.DeepEqual(prSingle["top"], prSharded["top"]) {
+		t.Fatalf("top ranks diverge:\nsingle  %v\nsharded %v", prSingle["top"], prSharded["top"])
+	}
+
+	// ?mech= composes with ?shards=.
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&shards=2&mech=flatcomb", nil, 200)
+
+	// Validation failures.
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&shards=0", nil, 400)
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&shards=bogus", nil, 400)
+	doJSON(t, "GET", ts.URL+"/query/cc?shards=2&mech=nope", nil, 400)
+}

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// BFSResult carries the sharded BFS tree: Parents[v] is the global parent
+// of v (the source's parent is itself), or -1 when unreachable.
+type BFSResult struct {
+	Parents []int64
+	// Levels is the BFS depth reached (number of frontier expansions).
+	Levels int
+	Result
+}
+
+// BFS runs a level-synchronized breadth-first search from src across
+// cfg.Shards graph shards. Marking a vertex is the paper's FF&MF operator
+// (Listing 4): exactly one activity wins each vertex, losers fail benignly.
+// Cross-shard discoveries travel as coalesced mark batches; the Drain
+// barrier between levels guarantees the depth labeling is identical to the
+// sequential BFS regardless of shard count, batch size or flush policy.
+func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
+	if src < 0 || src >= g.N {
+		return BFSResult{}, fmt.Errorf("shard: BFS source %d out of range [0,%d)", src, g.N)
+	}
+	ex, err := New(g, 1, cfg) // one word per vertex: parent+1, 0 = unvisited
+	if err != nil {
+		return BFSResult{}, err
+	}
+
+	// Per-worker frontier segments: cur is consumed, next receives
+	// discoveries from the mark operator's commit hook. Entries are
+	// owner-local vertex ids; a worker only ever appends to its own
+	// segment, so no isolation is needed.
+	W := ex.Workers()
+	cur := make([][]int32, W)
+	next := make([][]int32, W)
+
+	mark := ex.Register(&Op{
+		Name: "bfs-mark",
+		Addr: func(lv int, arg uint64) int { return lv },
+		Mutate: func(c, arg uint64) (uint64, bool) {
+			if c != 0 {
+				return 0, false // already visited: May-Fail failure
+			}
+			return arg + 1, true
+		},
+		OnCommit: func(w *Worker, lv int, arg uint64) {
+			i := w.Index()
+			next[i] = append(next[i], int32(lv))
+		},
+	})
+
+	t0 := time.Now()
+	// Seed the source into its owner shard.
+	owner := ex.Part.Owner(src)
+	ls := ex.Part.Local(src)
+	ex.shards[owner].Store(ls, uint64(src)+1)
+	seedWorker := owner * ex.cfg.Workers // worker 0 of the owner shard
+	cur[seedWorker] = append(cur[seedWorker], int32(ls))
+
+	levels := 0
+	for {
+		ex.Parallel(func(w *Worker) {
+			s := w.S
+			i := w.Index()
+			for _, lv := range cur[i] {
+				u := ex.Part.Global(s.ID, int(lv))
+				for _, wv := range g.Neighbors(u) {
+					gw := int(wv)
+					// The §4.2 visited check: a plain local read skips
+					// spawning for vertices this shard already marked.
+					// Stale reads are benign — the operator re-tests.
+					if ex.Part.Owner(gw) == s.ID && s.Load(ex.Part.Local(gw)) != 0 {
+						continue
+					}
+					w.Spawn(mark, gw, uint64(u))
+				}
+			}
+		})
+		ex.Drain()
+
+		total := 0
+		for i := range cur {
+			cur[i] = cur[i][:0]
+			total += len(next[i])
+		}
+		cur, next = next, cur
+		if total == 0 {
+			break
+		}
+		levels++
+	}
+	elapsed := time.Since(t0)
+
+	parents := make([]int64, g.N)
+	for v := 0; v < g.N; v++ {
+		raw := ex.shards[ex.Part.Owner(v)].Load(ex.Part.Local(v))
+		parents[v] = int64(raw) - 1
+	}
+	res := ex.Result()
+	res.Elapsed = elapsed
+	return BFSResult{Parents: parents, Levels: levels, Result: res}, nil
+}

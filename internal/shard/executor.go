@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/graph"
+)
+
+// Op is one operator registered with a sharded executor. Shard operators
+// are the single-vertex May-Fail flavor of the paper's §3.2 taxonomy: the
+// whole shared-state effect is one read-modify-write of the target word,
+// which is what lets every cross-shard spawn travel as a three-word
+// message unit and every mechanism apply it without multi-word footprints.
+type Op struct {
+	Name string
+	// Addr returns the target word of the operator for owner-local vertex
+	// lv (an index into the shard's state region).
+	Addr func(lv int, arg uint64) int
+	// Mutate computes the replacement value from the current one; ok=false
+	// reports a May-Fail failure and leaves the word untouched.
+	Mutate func(cur, arg uint64) (next uint64, ok bool)
+	// OnCommit runs after a successful application, outside isolation, on
+	// the applying worker (frontier pushes, change counters). Optional.
+	OnCommit func(w *Worker, lv int, arg uint64)
+}
+
+// message is one coalesced cross-shard operator unit.
+type message struct {
+	op  uint16
+	lv  int32
+	arg uint64
+}
+
+// inbox receives flushed batches; any worker of the owning shard pops and
+// applies them during Drain.
+type inbox struct {
+	mu      sync.Mutex
+	batches [][]message
+}
+
+// Executor runs operators over a sharded graph.
+type Executor struct {
+	G    *graph.Graph
+	Part graph.Partition
+	cfg  Config
+
+	ops    []*Op
+	shards []*Shard
+	epochs int
+}
+
+// Shard owns one contiguous vertex block and its state words.
+type Shard struct {
+	ex *Executor
+	ID int
+	// Lo and Hi delimit the owned global-vertex range [Lo, Hi).
+	Lo, Hi int
+	mech   aam.Mechanism
+
+	// state holds words*MaxLocal() uint64 cells, accessed atomically.
+	state []uint64
+	// locks are per-vertex spin bits (MechLock and the HTM fallback path);
+	// vers are per-vertex seqlock-style version cells (MechOptimistic).
+	locks []uint32
+	vers  []uint64
+	// fallbackMu serializes emulated-HTM activities that exhausted their
+	// optimistic retries.
+	fallbackMu sync.Mutex
+	// Flat combining: one publication slot per worker plus the combiner
+	// flag.
+	fcSlots []fcSlot
+	fcLock  atomic.Bool
+
+	inbox   inbox
+	workers []*Worker
+}
+
+// Worker is one goroutine slot of a shard's pool. Workers persist across
+// Parallel calls; their coalescing buffers and counters carry over until
+// the run ends.
+type Worker struct {
+	S  *Shard
+	ID int // worker index within the shard
+
+	out   [][]message // per-destination coalescing buffers
+	stats Stats
+}
+
+// New builds an executor over g with words state cells per vertex.
+func New(g *graph.Graph, words int, cfg Config) (*Executor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if words < 1 {
+		words = 1
+	}
+	ex := &Executor{
+		G:    g,
+		Part: graph.NewPartition(g.N, cfg.Shards),
+		cfg:  cfg,
+	}
+	L := ex.Part.MaxLocal()
+	for id := 0; id < cfg.Shards; id++ {
+		lo, hi := ex.Part.Range(id)
+		s := &Shard{
+			ex:    ex,
+			ID:    id,
+			Lo:    lo,
+			Hi:    hi,
+			mech:  cfg.mechanism(id),
+			state: make([]uint64, words*L),
+		}
+		switch s.mech {
+		case aam.MechLock:
+			s.locks = make([]uint32, L)
+		case aam.MechOptimistic:
+			s.vers = make([]uint64, L)
+		case aam.MechFlatCombining:
+			s.fcSlots = make([]fcSlot, cfg.Workers)
+		}
+		for wid := 0; wid < cfg.Workers; wid++ {
+			s.workers = append(s.workers, &Worker{
+				S:   s,
+				ID:  wid,
+				out: make([][]message, cfg.Shards),
+			})
+		}
+		ex.shards = append(ex.shards, s)
+	}
+	return ex, nil
+}
+
+// Register adds an operator and returns its id.
+func (ex *Executor) Register(op *Op) int {
+	ex.ops = append(ex.ops, op)
+	return len(ex.ops) - 1
+}
+
+// Config returns the normalized configuration.
+func (ex *Executor) Config() Config { return ex.cfg }
+
+// Shards returns the shard list (indexed by shard id).
+func (ex *Executor) Shards() []*Shard { return ex.shards }
+
+// Epochs returns the number of Drain barriers executed so far.
+func (ex *Executor) Epochs() int { return ex.epochs }
+
+// Workers returns the total worker count across shards.
+func (ex *Executor) Workers() int { return ex.cfg.Shards * ex.cfg.Workers }
+
+// Parallel runs fn once per worker and waits for all of them; returning
+// from it is a full barrier (the coordinator observes every worker's
+// writes, and vice versa on the next call).
+func (ex *Executor) Parallel(fn func(w *Worker)) {
+	var wg sync.WaitGroup
+	for _, s := range ex.shards {
+		for _, w := range s.workers {
+			wg.Add(1)
+			go func(w *Worker) {
+				defer wg.Done()
+				fn(w)
+			}(w)
+		}
+	}
+	wg.Wait()
+}
+
+// Drain is the epoch barrier: it flushes every coalescing buffer and
+// applies inboxed batches until the whole machine is quiescent — no unit
+// buffered, no batch undelivered. Batch application may itself spawn
+// (OnCommit chains), so the loop re-flushes until a clean pass.
+func (ex *Executor) Drain() {
+	ex.epochs++
+	for {
+		ex.Parallel(func(w *Worker) { w.FlushAll() })
+		if ex.pendingBatches() == 0 {
+			return
+		}
+		ex.Parallel(func(w *Worker) { w.S.drainInbox(w) })
+	}
+}
+
+// pendingBatches counts undelivered batches; called between Parallel
+// phases only.
+func (ex *Executor) pendingBatches() int {
+	n := 0
+	for _, s := range ex.shards {
+		s.inbox.mu.Lock()
+		n += len(s.inbox.batches)
+		s.inbox.mu.Unlock()
+	}
+	return n
+}
+
+// Result assembles the per-shard counters; call after the run.
+func (ex *Executor) Result() Result {
+	r := Result{Epochs: ex.epochs, PerShard: make([]Stats, len(ex.shards))}
+	for i, s := range ex.shards {
+		for _, w := range s.workers {
+			r.PerShard[i].add(w.stats)
+		}
+	}
+	return r
+}
+
+// Index returns the worker's global index (shard-major), for per-worker
+// algorithm scratch arrays.
+func (w *Worker) Index() int { return w.S.ID*w.S.ex.cfg.Workers + w.ID }
+
+// Range splits the shard's owned vertex block evenly over its workers and
+// returns this worker's global sub-range [lo, hi).
+func (w *Worker) Range() (lo, hi int) {
+	count := w.S.Hi - w.S.Lo
+	W := w.S.ex.cfg.Workers
+	return w.S.Lo + w.ID*count/W, w.S.Lo + (w.ID+1)*count/W
+}
+
+// Spawn applies operator op to global vertex gv: directly when this shard
+// owns gv, otherwise by coalescing a message unit toward the owner. It
+// reports whether the operator committed; cross-shard spawns always report
+// true (Fire-and-Forget: the outcome materializes at the owner during
+// Drain and is visible only in the owner's counters).
+func (w *Worker) Spawn(op int, gv int, arg uint64) bool {
+	ex := w.S.ex
+	dst := ex.Part.Owner(gv)
+	lv := ex.Part.Local(gv)
+	if dst == w.S.ID {
+		w.stats.LocalOps++
+		ok := w.S.apply(w, op, lv, arg)
+		if !ok {
+			w.stats.LocalFailed++
+		}
+		return ok
+	}
+	w.out[dst] = append(w.out[dst], message{op: uint16(op), lv: int32(lv), arg: arg})
+	switch ex.cfg.Flush {
+	case FlushEager:
+		w.flush(dst)
+	case FlushBySize:
+		if len(w.out[dst]) >= ex.cfg.BatchSize {
+			w.flush(dst)
+		}
+	}
+	return true
+}
+
+// Pending returns the number of units buffered toward dst.
+func (w *Worker) Pending(dst int) int { return len(w.out[dst]) }
+
+// flush hands dst's buffered units to the owner shard as one batch. The
+// buffer itself is handed off (no copy); the next spawn starts a fresh
+// one sized to what this destination just needed, which tracks the
+// effective batch size under every flush policy (BatchSize for size-
+// triggered flushes, the full epoch volume under FlushByEpoch).
+func (w *Worker) flush(dst int) {
+	batch := w.out[dst]
+	if len(batch) == 0 {
+		return
+	}
+	w.out[dst] = make([]message, 0, len(batch))
+	t := w.S.ex.shards[dst]
+	t.inbox.mu.Lock()
+	t.inbox.batches = append(t.inbox.batches, batch)
+	t.inbox.mu.Unlock()
+	w.stats.RemoteBatchesSent++
+	w.stats.RemoteUnitsSent += uint64(len(batch))
+}
+
+// FlushAll flushes every destination's buffer.
+func (w *Worker) FlushAll() {
+	for dst := range w.out {
+		w.flush(dst)
+	}
+}
+
+// drainInbox pops and applies batches until the shard's inbox is empty.
+// Batches race between the shard's workers; each unit is applied under the
+// shard's isolation mechanism, so concurrent application is safe.
+func (s *Shard) drainInbox(w *Worker) {
+	for {
+		s.inbox.mu.Lock()
+		n := len(s.inbox.batches)
+		if n == 0 {
+			s.inbox.mu.Unlock()
+			return
+		}
+		batch := s.inbox.batches[n-1]
+		s.inbox.batches = s.inbox.batches[:n-1]
+		s.inbox.mu.Unlock()
+		w.stats.RemoteBatchesRecv++
+		w.stats.RemoteUnitsRecv += uint64(len(batch))
+		for _, m := range batch {
+			if !s.apply(w, int(m.op), int(m.lv), m.arg) {
+				w.stats.RemoteFailed++
+			}
+		}
+	}
+}
+
+// Load reads a state word atomically (valid concurrently with any
+// mechanism; single-word reads may observe benign staleness, as in the
+// paper's §4.2 visited check).
+func (s *Shard) Load(addr int) uint64 { return atomic.LoadUint64(&s.state[addr]) }
+
+// Store writes a state word atomically. Reserved for single-owner phases
+// (initialization, between Parallel barriers); inside a parallel phase all
+// mutation goes through operators.
+func (s *Shard) Store(addr int, v uint64) { atomic.StoreUint64(&s.state[addr], v) }
+
+func (s *Shard) cas(addr int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.state[addr], old, new)
+}
+
+// Load reads a state word of the worker's own shard.
+func (w *Worker) Load(addr int) uint64 { return w.S.Load(addr) }

@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// prScale is the Q24.40 fixed-point scale shared with internal/algo's
+// PageRank: additive rank updates are exact integer adds, so the result is
+// bit-identical across shard counts, batch sizes, mechanisms and
+// application orders — which is what lets the tests demand equality with
+// the single-runtime version rather than a tolerance.
+const prScale = 1 << 40
+
+// PRResult carries the sharded PageRank rank vector (summing to ≈1).
+type PRResult struct {
+	Ranks []float64
+	Result
+}
+
+// PageRank runs the paper's vertex-centric push PageRank (§3.3.1,
+// Listing 3) across cfg.Shards shards: each iteration every shard pushes
+// d·rank(v)/outdeg(v) to v's neighbors through an FF&AS accumulate
+// operator; cross-shard contributions travel as coalesced batches and the
+// Drain barrier ends the iteration.
+func PageRank(g *graph.Graph, damping float64, iterations int, cfg Config) (PRResult, error) {
+	if damping == 0 {
+		damping = 0.85
+	}
+	if iterations == 0 {
+		iterations = 10
+	}
+	if g.N == 0 {
+		return PRResult{Ranks: []float64{}}, nil
+	}
+	// Two words per vertex: rank[cur] and rank[next], parity-selected.
+	ex, err := New(g, 2, cfg)
+	if err != nil {
+		return PRResult{}, err
+	}
+	L := ex.Part.MaxLocal()
+
+	// arg encodes share<<1 | nextParity, as in internal/algo.
+	acc := ex.Register(&Op{
+		Name: "pr-acc",
+		Addr: func(lv int, arg uint64) int { return int(arg&1)*L + lv },
+		Mutate: func(c, arg uint64) (uint64, bool) {
+			return c + arg>>1, true // Always-Succeed
+		},
+	})
+
+	t0 := time.Now()
+	base := uint64((1 - damping) / float64(g.N) * prScale)
+	init := uint64(1.0 / float64(g.N) * prScale)
+
+	ex.Parallel(func(w *Worker) {
+		lo, hi := w.Range()
+		for v := lo; v < hi; v++ {
+			w.S.Store(ex.Part.Local(v), init)
+		}
+	})
+
+	for it := 0; it < iterations; it++ {
+		curBase := (it & 1) * L
+		next := (it & 1) ^ 1
+		ex.Parallel(func(w *Worker) {
+			lo, hi := w.Range()
+			for v := lo; v < hi; v++ {
+				w.S.Store(next*L+ex.Part.Local(v), base)
+			}
+		})
+		ex.Parallel(func(w *Worker) {
+			lo, hi := w.Range()
+			for v := lo; v < hi; v++ {
+				deg := g.Degree(v)
+				if deg == 0 {
+					continue
+				}
+				rank := w.S.Load(curBase + ex.Part.Local(v))
+				share := uint64(float64(rank) * damping / float64(deg))
+				if share == 0 {
+					continue
+				}
+				arg := share<<1 | uint64(next)
+				for _, nv := range g.Neighbors(v) {
+					w.Spawn(acc, int(nv), arg)
+				}
+			}
+		})
+		ex.Drain()
+	}
+	elapsed := time.Since(t0)
+
+	finalBase := (iterations & 1) * L
+	ranks := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		raw := ex.shards[ex.Part.Owner(v)].Load(finalBase + ex.Part.Local(v))
+		ranks[v] = float64(raw) / prScale
+	}
+	res := ex.Result()
+	res.Elapsed = elapsed
+	return PRResult{Ranks: ranks, Result: res}, nil
+}
