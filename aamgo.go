@@ -138,13 +138,16 @@ type Config struct {
 	LowerSingle bool
 	// Seed fixes workload and simulator randomness (default 1).
 	Seed int64
-	// Shards, when above 1, runs BFS, PageRank and Components on the
-	// sharded executor (internal/shard) instead of a single AAM runtime:
-	// one shard per vertex block on real goroutines, cross-shard operators
-	// coalesced into batches of C units, local application isolated by
-	// Mechanism. Results are identical to the single-runtime path (see the
-	// package shard docs); RunInfo.Stats stays empty — use ShardedBFS,
-	// ShardedPageRank or ShardedComponents for the per-shard counters.
+	// Shards, when above 1, runs BFS, PageRank, Components, SSSP, MST and
+	// Coloring on the sharded executor (internal/shard) instead of a
+	// single AAM runtime: one shard per vertex block on real goroutines,
+	// cross-shard operators coalesced into batches of C units, local
+	// application isolated by Mechanism. Results are identical to the
+	// single-runtime path (see the package shard docs; for MST and
+	// Coloring they are certified-equivalent: same forest weight and
+	// min-id component labels, a valid deterministic coloring);
+	// RunInfo.Stats stays empty — use the Sharded* functions for the
+	// per-shard counters.
 	Shards int
 }
 
@@ -295,6 +298,11 @@ func PageRank(g *Graph, damping float64, iterations int, c Config) ([]float64, R
 // for Builder.WithWeights, as required by MST and SSSP.
 var SymmetricWeight = graph.SymmetricWeight
 
+// AttachSymmetricWeights returns a shallow copy of g carrying
+// SymmetricWeight(seed) edge weights (adjacency shared, fresh weight
+// array) — the quickest way to run MST or SSSP over an unweighted graph.
+var AttachSymmetricWeights = graph.AttachSymmetricWeights
+
 // MST runs the AAM Boruvka minimum-spanning-forest algorithm and returns
 // the total forest weight and per-vertex component labels. The graph must
 // carry edge weights (Builder.WithWeights).
@@ -305,6 +313,13 @@ func MST(g *Graph, c Config) (weight uint64, components []int32, ri RunInfo, err
 	prof, c, err := c.resolve()
 	if err != nil {
 		return 0, nil, RunInfo{}, err
+	}
+	if c.Shards > 1 {
+		res, err := shard.MST(g, c.sharded())
+		if err != nil {
+			return 0, nil, RunInfo{}, err
+		}
+		return res.Weight, res.Labels, RunInfo{Elapsed: res.Elapsed}, nil
 	}
 	b := algo.NewBoruvka(g)
 	m := run.New(c.Backend, exec.Config{
@@ -319,9 +334,20 @@ func MST(g *Graph, c Config) (weight uint64, components []int32, ri RunInfo, err
 // Coloring runs Boman et al.'s distributed coloring heuristic and returns
 // the per-vertex colors (0-based) and the number of colors used.
 func Coloring(g *Graph, c Config) ([]int32, int, RunInfo, error) {
+	rawSeed := c.Seed
 	prof, c, err := c.resolve()
 	if err != nil {
 		return nil, 0, RunInfo{}, err
+	}
+	if c.Shards > 1 {
+		// Seed 0 (the Config zero value) selects the identity priority
+		// order, which reproduces the sequential greedy coloring exactly;
+		// any other seed is a Luby-style random order.
+		res, err := shard.Coloring(g, uint64(rawSeed), c.sharded())
+		if err != nil {
+			return nil, 0, RunInfo{}, err
+		}
+		return res.Colors, res.Used, RunInfo{Elapsed: res.Elapsed}, nil
 	}
 	col := algo.NewColoring(g)
 	m := run.New(c.Backend, exec.Config{
@@ -347,6 +373,13 @@ func SSSP(g *Graph, src int, c Config) ([]uint64, RunInfo, error) {
 	}
 	if src < 0 || src >= g.N {
 		return nil, RunInfo{}, fmt.Errorf("aamgo: SSSP source %d out of range [0,%d)", src, g.N)
+	}
+	if c.Shards > 1 {
+		res, err := shard.SSSP(g, src, 0, c.sharded()) // auto-selected delta
+		if err != nil {
+			return nil, RunInfo{}, err
+		}
+		return res.Dists, RunInfo{Elapsed: res.Elapsed}, nil
 	}
 	c = c.predictM(g, &prof)
 	s := algo.NewSSSP(g, c.Nodes)
@@ -427,11 +460,12 @@ func Components(g *Graph, c Config) ([]int32, RunInfo, error) {
 	return cc.Labels(m), info(res), nil
 }
 
-// Sharded execution (internal/shard): BFS, PageRank and connected
-// components across multiple graph shards on real goroutines, with
-// cross-shard active messages routed through per-destination coalescing
-// buffers and applied as batched May-Fail operators. ShardedConfig gives
-// full control (workers per shard, flush policy, heterogeneous per-shard
+// Sharded execution (internal/shard): BFS, PageRank, connected
+// components, delta-stepping SSSP, Borůvka MST and greedy coloring
+// across multiple graph shards on real goroutines, with cross-shard
+// active messages routed through per-destination coalescing buffers and
+// applied as batched May-Fail operators. ShardedConfig gives full
+// control (workers per shard, flush policy, heterogeneous per-shard
 // mechanisms); Config.Shards is the one-knob version.
 type (
 	// ShardedConfig shapes a sharded execution (shards, workers per shard,
@@ -448,6 +482,15 @@ type (
 	ShardedPRResult = shard.PRResult
 	// ShardedCCResult is the sharded components outcome (labels + counters).
 	ShardedCCResult = shard.CCResult
+	// ShardedSSSPResult is the sharded delta-stepping SSSP outcome
+	// (distances, bucket count + counters).
+	ShardedSSSPResult = shard.SSSPResult
+	// ShardedMSTResult is the sharded Borůvka outcome (forest weight,
+	// edges, labels + counters).
+	ShardedMSTResult = shard.MSTResult
+	// ShardedColoringResult is the sharded greedy-coloring outcome
+	// (colors, rounds + counters).
+	ShardedColoringResult = shard.ColoringResult
 	// FlushPolicy selects when coalescing buffers flush (eager, at batch
 	// size, or at the epoch barrier).
 	FlushPolicy = shard.FlushPolicy
@@ -476,6 +519,30 @@ func ShardedPageRank(g *Graph, damping float64, iterations int, cfg ShardedConfi
 // are identical to Components'.
 func ShardedComponents(g *Graph, cfg ShardedConfig) (ShardedCCResult, error) {
 	return shard.Components(g, cfg)
+}
+
+// ShardedSSSP runs the shard-parallel delta-stepping SSSP from src with
+// bucket width delta (0 auto-selects maxWeight/avgDegree); distances are
+// identical to SSSP's. The graph must carry edge weights.
+func ShardedSSSP(g *Graph, src int, delta uint64, cfg ShardedConfig) (ShardedSSSPResult, error) {
+	return shard.SSSP(g, src, delta, cfg)
+}
+
+// ShardedMST runs the shard-parallel Borůvka minimum spanning forest; the
+// forest weight equals MST's and labels are normalized to the minimum
+// vertex id per component. The graph must carry distinct edge weights
+// (use SymmetricWeight).
+func ShardedMST(g *Graph, cfg ShardedConfig) (ShardedMSTResult, error) {
+	return shard.MST(g, cfg)
+}
+
+// ShardedColoring runs the shard-parallel Luby/Jones-Plassmann greedy
+// coloring under the deterministic priority order derived from seed; seed
+// 0 is the identity order, which reproduces the sequential greedy
+// coloring exactly. The result is identical for every shard count,
+// mechanism and flush policy.
+func ShardedColoring(g *Graph, seed uint64, cfg ShardedConfig) (ShardedColoringResult, error) {
+	return shard.Coloring(g, seed, cfg)
 }
 
 // Dynamic-graph subsystem (internal/dyn): a mutable graph whose edge

@@ -436,3 +436,94 @@ func TestShardedFacade(t *testing.T) {
 		}
 	}
 }
+
+// weightedKron is the Kronecker test graph with deterministic symmetric
+// edge weights attached.
+func weightedKron(t *testing.T) *aamgo.Graph {
+	t.Helper()
+	return aamgo.AttachSymmetricWeights(kron(t), 5)
+}
+
+func TestShardedIrregularFacade(t *testing.T) {
+	g := weightedKron(t)
+	src := maxDeg(g)
+
+	// Config.Shards routes SSSP through the sharded executor; distances
+	// must equal the single-runtime chaotic relaxation exactly.
+	single, _, err := aamgo.SSSP(g, src, aamgo.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := aamgo.SSSP(g, src, aamgo.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range single {
+		if single[v] != sharded[v] {
+			t.Fatalf("dist[%d]: sharded %d != single-runtime %d", v, sharded[v], single[v])
+		}
+	}
+	sres, err := aamgo.ShardedSSSP(g, src, 0, aamgo.ShardedConfig{Shards: 4, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sres.Totals()
+	if tot.RemoteUnitsSent == 0 || tot.RemoteUnitsSent != tot.RemoteUnitsRecv {
+		t.Fatalf("sssp remote units sent=%d recv=%d", tot.RemoteUnitsSent, tot.RemoteUnitsRecv)
+	}
+
+	// MST: sharded forest weight matches the single-runtime Boruvka.
+	w1, _, _, err := aamgo.MST(g, aamgo.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, labels, _, err := aamgo.MST(g, aamgo.Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatalf("sharded MST weight %d != single-runtime %d", w2, w1)
+	}
+	mres, err := aamgo.ShardedMST(g, aamgo.ShardedConfig{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Weight != w1 {
+		t.Fatalf("ShardedMST weight %d != %d", mres.Weight, w1)
+	}
+	if len(labels) != g.N || len(mres.Labels) != g.N {
+		t.Fatal("missing component labels")
+	}
+
+	// Coloring: sharded result is proper and deterministic; seed 0 is the
+	// sequential greedy order.
+	colors, used, _, err := aamgo.Coloring(g, aamgo.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used <= 0 {
+		t.Fatal("no colors used")
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) != v && colors[v] == colors[w] {
+				t.Fatalf("edge %d-%d monochromatic (%d)", v, w, colors[v])
+			}
+		}
+	}
+	cres, err := aamgo.ShardedColoring(g, 0, aamgo.ShardedConfig{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Used > g.MaxDegree()+1 {
+		t.Fatalf("coloring used %d colors, maxdeg+1 = %d", cres.Used, g.MaxDegree()+1)
+	}
+
+	// The sharded SSSP path must reject bad sources and missing weights.
+	if _, _, err := aamgo.SSSP(g, g.N+7, aamgo.Config{Shards: 4}); err == nil {
+		t.Fatal("out-of-range sharded SSSP source accepted")
+	}
+	if _, err := aamgo.ShardedMST(kron(t), aamgo.ShardedConfig{Shards: 2}); err == nil {
+		t.Fatal("unweighted sharded MST accepted")
+	}
+}

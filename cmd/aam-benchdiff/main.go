@@ -13,17 +13,23 @@
 // count (message/batch totals, reduction ratios) for a fixed scale and
 // seed, and must match the baseline exactly — any drift, in either
 // direction, means the messaging behavior changed and the baseline needs
-// a deliberate refresh. Metrics present in only one file are reported but
-// do not fail the gate (new scenarios appear before their baseline
-// lands). Failed shape checks in the current run always fail the gate.
-// To refresh the baseline after an intentional performance or workload
-// change, rerun aam-bench with the same -scale/-seed the CI job uses,
-// re-relax the throughput floors, and commit the new file.
+// a deliberate refresh. Metric sets may be asymmetric, and the two
+// directions are deliberately not symmetric: a metric (or a whole
+// experiment) present only in the current run is reported as "new, not
+// gated" — new scenarios land before their baseline does — while a metric
+// or experiment present in the baseline but missing from the current run
+// FAILS the gate: coverage silently disappearing is exactly the
+// regression the gate exists to catch. Failed shape checks in the current
+// run always fail the gate. To refresh the baseline after an intentional
+// performance or workload change, rerun aam-bench with the same
+// -scale/-seed the CI job uses, re-relax the throughput floors, and
+// commit the new file.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -57,35 +63,47 @@ func main() {
 			base.Scale, base.Seed, cur.Scale, cur.Seed)
 	}
 
-	regressions, compared := 0, 0
+	regressions, compared := diff(os.Stdout, base, cur, *threshold)
+	if regressions > 0 {
+		fatalf("%d regression(s) across %d compared metric(s); "+
+			"if intentional, refresh the baseline (see aam-benchdiff doc)", regressions, compared)
+	}
+	fmt.Printf("no regressions across %d compared metric(s)\n", compared)
+}
+
+// diff compares current against baseline, writing one line per finding to
+// w, and returns the regression and compared-metric counts. Extracted
+// from main so the asymmetric-set semantics are unit-testable.
+func diff(w io.Writer, base, cur bench.CIReport, threshold float64) (regressions, compared int) {
 	for _, id := range sortedKeys(cur.Experiments) {
 		ce := cur.Experiments[id]
 		if ce.ChecksFailed > 0 {
-			fmt.Printf("FAIL %s: %d shape check(s) failed in the current run\n", id, ce.ChecksFailed)
+			fmt.Fprintf(w, "FAIL %s: %d shape check(s) failed in the current run\n", id, ce.ChecksFailed)
 			regressions++
 		}
 		be, ok := base.Experiments[id]
 		if !ok {
-			fmt.Printf("note %s: no baseline entry (new experiment?)\n", id)
+			fmt.Fprintf(w, "note %s: new experiment, not gated (no baseline entry; "+
+				"refresh the baseline to start gating it)\n", id)
 			continue
 		}
 		for _, name := range sortedKeys(ce.Metrics) {
 			curV := ce.Metrics[name]
 			baseV, ok := be.Metrics[name]
 			if !ok {
-				fmt.Printf("note %s/%s: no baseline metric (new metric?)\n", id, name)
+				fmt.Fprintf(w, "note %s/%s: new metric, not gated (no baseline value)\n", id, name)
 				continue
 			}
 			compared++
 			if strings.Contains(name, ".tput.") {
-				floor := baseV * (1 - *threshold)
+				floor := baseV * (1 - threshold)
 				status := "ok  "
 				if curV < floor {
 					status = "FAIL"
 					regressions++
 				}
-				fmt.Printf("%s %s/%s: current %.4g vs baseline floor %.4g (%.4g − %.0f%%)\n",
-					status, id, name, curV, floor, baseV, *threshold*100)
+				fmt.Fprintf(w, "%s %s/%s: current %.4g vs baseline floor %.4g (%.4g − %.0f%%)\n",
+					status, id, name, curV, floor, baseV, threshold*100)
 				continue
 			}
 			// Deterministic count: exact match (tiny relative epsilon for
@@ -96,21 +114,27 @@ func main() {
 				status = "FAIL"
 				regressions++
 			}
-			fmt.Printf("%s %s/%s: current %.10g vs baseline %.10g (exact)\n",
+			fmt.Fprintf(w, "%s %s/%s: current %.10g vs baseline %.10g (exact)\n",
 				status, id, name, curV, baseV)
 		}
+		// A baseline metric the current run no longer produces is lost
+		// gate coverage: fail until the baseline is deliberately refreshed.
 		for _, name := range sortedKeys(be.Metrics) {
 			if _, ok := ce.Metrics[name]; !ok {
-				fmt.Printf("note %s/%s: baseline metric missing from current run\n", id, name)
+				fmt.Fprintf(w, "FAIL %s/%s: baseline metric missing from current run\n", id, name)
+				regressions++
 			}
 		}
 	}
-
-	if regressions > 0 {
-		fatalf("%d regression(s) across %d compared metric(s); "+
-			"if intentional, refresh the baseline (see aam-benchdiff doc)", regressions, compared)
+	// Same at experiment granularity: a baselined experiment that was not
+	// run at all must not pass silently.
+	for _, id := range sortedKeys(base.Experiments) {
+		if _, ok := cur.Experiments[id]; !ok {
+			fmt.Fprintf(w, "FAIL %s: baseline experiment missing from current run\n", id)
+			regressions++
+		}
 	}
-	fmt.Printf("no regressions across %d compared metric(s)\n", compared)
+	return regressions, compared
 }
 
 // almostEqual compares within 1e-9 relative tolerance (deterministic

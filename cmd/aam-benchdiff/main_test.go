@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aamgo/internal/bench"
+)
+
+func report(exps map[string]bench.CIExperiment) bench.CIReport {
+	return bench.CIReport{Schema: bench.CISchema, Seed: 42, Experiments: exps}
+}
+
+func runDiff(t *testing.T, base, cur bench.CIReport) (string, int, int) {
+	t.Helper()
+	var sb strings.Builder
+	regressions, compared := diff(&sb, base, cur, 0.20)
+	return sb.String(), regressions, compared
+}
+
+func TestDiffPassesOnIdenticalSets(t *testing.T) {
+	r := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{
+			"bfs.remote_units.s4": 1000,
+			"bfs.tput.keps.s4":    50,
+		}},
+	})
+	out, regressions, compared := runDiff(t, r, r)
+	if regressions != 0 || compared != 2 {
+		t.Fatalf("regressions=%d compared=%d\n%s", regressions, compared, out)
+	}
+}
+
+// TestDiffNewMetricNotGated pins the forward direction of asymmetric
+// metric sets: a metric (or experiment) present only in the current run —
+// a freshly added scenario whose baseline has not landed yet — is
+// reported as new and does not fail the gate.
+func TestDiffNewMetricNotGated(t *testing.T) {
+	base := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{"bfs.remote_units.s4": 1000}},
+	})
+	cur := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{
+			"bfs.remote_units.s4":  1000,
+			"sssp.remote_units.s4": 777, // new metric
+		}},
+		"sharded-irregular": { // new experiment
+			Metrics: map[string]float64{"mst.remote_units.s4": 5}},
+	})
+	out, regressions, compared := runDiff(t, base, cur)
+	if regressions != 0 {
+		t.Fatalf("new metrics must not gate; got %d regressions:\n%s", regressions, out)
+	}
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1\n%s", compared, out)
+	}
+	for _, frag := range []string{
+		"note sharded/sssp.remote_units.s4: new metric, not gated",
+		"note sharded-irregular: new experiment, not gated",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output lacks %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestDiffMissingBaselineMetricFails pins the reverse direction: a metric
+// or experiment the baseline holds but the current run no longer produces
+// is lost gate coverage and must fail.
+func TestDiffMissingBaselineMetricFails(t *testing.T) {
+	base := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{
+			"bfs.remote_units.s4": 1000,
+			"cc.remote_units.s4":  2000,
+		}},
+	})
+	cur := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{"bfs.remote_units.s4": 1000}},
+	})
+	out, regressions, _ := runDiff(t, base, cur)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out)
+	}
+	if !strings.Contains(out, "FAIL sharded/cc.remote_units.s4: baseline metric missing") {
+		t.Fatalf("missing-metric failure not reported:\n%s", out)
+	}
+
+	// Whole experiment missing from the current run.
+	out, regressions, _ = runDiff(t, base, report(map[string]bench.CIExperiment{}))
+	if regressions != 1 || !strings.Contains(out, "FAIL sharded: baseline experiment missing") {
+		t.Fatalf("missing-experiment failure not reported (regressions=%d):\n%s", regressions, out)
+	}
+}
+
+func TestDiffGatesValues(t *testing.T) {
+	base := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{
+			"bfs.remote_units.s4": 1000,
+			"bfs.tput.keps.s4":    100,
+		}},
+	})
+	// Throughput above the floor and exact counts pass.
+	cur := report(map[string]bench.CIExperiment{
+		"sharded": {Metrics: map[string]float64{
+			"bfs.remote_units.s4": 1000,
+			"bfs.tput.keps.s4":    85, // floor is 80
+		}},
+	})
+	if out, regressions, _ := runDiff(t, base, cur); regressions != 0 {
+		t.Fatalf("within-threshold run failed:\n%s", out)
+	}
+	// Throughput below the floor fails; count drift fails in both
+	// directions.
+	for _, m := range []map[string]float64{
+		{"bfs.remote_units.s4": 1000, "bfs.tput.keps.s4": 79},
+		{"bfs.remote_units.s4": 999, "bfs.tput.keps.s4": 100},
+		{"bfs.remote_units.s4": 1001, "bfs.tput.keps.s4": 100},
+	} {
+		cur := report(map[string]bench.CIExperiment{"sharded": {Metrics: m}})
+		if out, regressions, _ := runDiff(t, base, cur); regressions != 1 {
+			t.Fatalf("metrics %v: regressions != 1:\n%s", m, out)
+		}
+	}
+	// Failed shape checks always gate.
+	cur = report(map[string]bench.CIExperiment{
+		"sharded": {ChecksFailed: 2, Metrics: map[string]float64{
+			"bfs.remote_units.s4": 1000, "bfs.tput.keps.s4": 100,
+		}},
+	})
+	if out, regressions, _ := runDiff(t, base, cur); regressions != 1 {
+		t.Fatalf("failed shape checks did not gate:\n%s", out)
+	}
+}

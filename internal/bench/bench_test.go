@@ -24,6 +24,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"abl-mechanisms", "abl-lower", "abl-predict",
 		"streaming",
 		"sharded",
+		"sharded-irregular",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

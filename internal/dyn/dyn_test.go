@@ -397,3 +397,110 @@ func mustApply(t *testing.T, g *Graph, batch []Mutation) BatchResult {
 	}
 	return res
 }
+
+// TestMutationIdempotence is the regression guard for duplicate and
+// missing-target mutations: a duplicate AddEdge of an existing edge and a
+// RemoveEdge of a nonexistent edge must be rejected without corrupting
+// degree counts, arc totals, or the incremental CC state — cross-checked
+// against a full recompute after every batch.
+func TestMutationIdempotence(t *testing.T) {
+	base := graph.Community(80, 8, 4, 0.05, 5)
+	g, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string, wantRejected, gotRejected int) {
+		t.Helper()
+		if gotRejected != wantRejected {
+			t.Fatalf("%s: rejected = %d, want %d", step, gotRejected, wantRejected)
+		}
+		snap := g.Snapshot()
+		f := snap.Freeze()
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: frozen graph invalid: %v", step, err)
+		}
+		if snap.NumArcs() != f.NumEdges() {
+			t.Fatalf("%s: snapshot counts %d arcs, frozen graph has %d", step, snap.NumArcs(), f.NumEdges())
+		}
+		for v := 0; v < snap.N(); v++ {
+			if snap.Degree(v) != f.Degree(v) {
+				t.Fatalf("%s: degree(%d) = %d, frozen graph says %d", step, v, snap.Degree(v), f.Degree(v))
+			}
+		}
+		if got, want := g.Components(), algo.SeqComponents(f); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: incremental CC diverges from full recompute", step)
+		}
+	}
+
+	// Pick an existing and a nonexistent edge of the base.
+	u := 0
+	for g.Snapshot().Degree(u) == 0 {
+		u++
+	}
+	v := int(base.Neighbors(u)[0])
+	missU, missV := int32(0), int32(0)
+	for x := 0; x < base.N && missU == missV; x++ {
+		for y := x + 1; y < base.N; y++ {
+			if !g.Snapshot().HasEdge(int32(x), int32(y)) {
+				missU, missV = int32(x), int32(y)
+				break
+			}
+		}
+	}
+
+	// Duplicate AddEdge of an existing edge (both orientations) rejects
+	// both without touching state.
+	res, err := g.Apply([]Mutation{AddEdge(int32(u), int32(v)), AddEdge(int32(v), int32(u))}, TxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 {
+		t.Fatalf("duplicate add applied %d mutations", res.Applied)
+	}
+	check("duplicate add", 2, res.Rejected)
+
+	// RemoveEdge of a nonexistent edge rejects without corrupting CC.
+	res, err = g.Apply([]Mutation{RemoveEdge(missU, missV)}, TxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("missing remove", 1, res.Rejected)
+
+	// A mixed batch: one real insert, its intra-batch duplicate, one
+	// duplicate of an existing edge, one real delete, one missing delete,
+	// and a repeat of the real delete.
+	res, err = g.Apply([]Mutation{
+		AddEdge(missU, missV),
+		AddEdge(missV, missU),          // intra-batch duplicate (redundant)
+		AddEdge(int32(u), int32(v)),    // exists: rejected
+		RemoveEdge(int32(u), int32(v)), // real delete
+		RemoveEdge(missU, missV),       // nonexistent pre-batch: rejected
+		RemoveEdge(int32(v), int32(u)), // intra-batch duplicate delete
+	}, TxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 { // one insert + one delete
+		t.Fatalf("mixed batch applied %d, want 2", res.Applied)
+	}
+	if res.Redundant != 2 {
+		t.Fatalf("mixed batch redundant %d, want 2", res.Redundant)
+	}
+	check("mixed batch", 1+1, res.Rejected) // existing add + the remove below
+
+	// Re-adding the removed edge and re-removing the added one restores
+	// the original arc totals; the CC cross-check keeps passing after
+	// every inversion, under every mechanism.
+	for _, mech := range allMechanisms {
+		cfg := TxConfig{Mechanism: mech}
+		if _, err := g.Apply([]Mutation{AddEdge(int32(u), int32(v)), RemoveEdge(missU, missV)}, cfg); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("invert %v", mech), 0, 0)
+		if _, err := g.Apply([]Mutation{RemoveEdge(int32(u), int32(v)), AddEdge(missU, missV)}, cfg); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("revert %v", mech), 0, 0)
+	}
+}

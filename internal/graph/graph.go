@@ -223,6 +223,23 @@ func SymmetricWeight(seed uint64) func(u, v int32) uint32 {
 	}
 }
 
+// AttachSymmetricWeights returns a shallow copy of g carrying
+// SymmetricWeight(seed) edge weights: adjacency shared with g, fresh
+// weight array. Use it to put an unweighted graph into the metric space
+// SSSP and MST require without rebuilding the CSR.
+func AttachSymmetricWeights(g *Graph, seed uint64) *Graph {
+	wf := SymmetricWeight(seed)
+	g2 := *g
+	g2.Weights = make([]uint32, len(g.Adj))
+	for v := 0; v < g.N; v++ {
+		base := g.Offsets[v]
+		for i, w := range g.Neighbors(v) {
+			g2.Weights[base+int64(i)] = wf(int32(v), w)
+		}
+	}
+	return &g2
+}
+
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xFF51AFD7ED558CCD

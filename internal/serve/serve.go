@@ -15,7 +15,14 @@
 //	GET    /query/bfs?src=V[&full=1]                    AAM BFS from V
 //	GET    /query/cc                                    incremental components
 //	GET    /query/pagerank[?iters=I&damping=D&top=K]    AAM PageRank
+//	GET    /query/sssp?src=V[&delta=D&wseed=S&full=1]   AAM delta-stepping SSSP
+//	GET    /query/mst[?wseed=S&full=1]                  AAM Borůvka spanning forest
+//	GET    /query/coloring[?shards=N&seed=S&full=1]     AAM greedy coloring
 //	GET    /stats                                       lifetime counters
+//
+// The dynamic graph is unweighted; SSSP and MST synthesize deterministic
+// symmetric edge weights from ?wseed= (default 1) via graph.SymmetricWeight,
+// so repeated queries over the same epoch and seed see identical weights.
 //
 // Mutation endpoints accept ?mech={htm,atomic,lock,occ,flatcomb} to
 // override the server's default isolation mechanism per request.
@@ -42,6 +49,7 @@ import (
 	"aamgo/internal/algo"
 	"aamgo/internal/dyn"
 	"aamgo/internal/exec"
+	"aamgo/internal/graph"
 	"aamgo/internal/run"
 	"aamgo/internal/shard"
 	"aamgo/internal/stats"
@@ -134,6 +142,9 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/query/bfs", s.pooled(s.handleBFS))
 	s.mux.HandleFunc("/query/cc", s.pooled(s.handleCC))
 	s.mux.HandleFunc("/query/pagerank", s.pooled(s.handlePageRank))
+	s.mux.HandleFunc("/query/sssp", s.pooled(s.handleSSSP))
+	s.mux.HandleFunc("/query/mst", s.pooled(s.handleMST))
+	s.mux.HandleFunc("/query/coloring", s.pooled(s.handleColoring))
 	s.mux.HandleFunc("/stats", s.pooled(s.handleStats))
 	return s, nil
 }
@@ -380,14 +391,13 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.g.Snapshot() // one consistent cut; writers continue concurrently
-	f := snap.Freeze()
 	src, err := strconv.Atoi(r.URL.Query().Get("src"))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "bad src: %v", err)
 		return
 	}
-	if src < 0 || src >= f.N {
-		s.fail(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, f.N)
+	if src < 0 || src >= snap.N() {
+		s.fail(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, snap.N())
 		return
 	}
 	scfg, shards, err := s.shardCfg(r)
@@ -395,6 +405,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	f := snap.Freeze()
 	if shards > 1 {
 		t0 := time.Now()
 		res, err := shard.BFS(f, src, scfg)
@@ -544,6 +555,13 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.g.Snapshot()
 	f := snap.Freeze()
+	// Validate an explicit top against the graph size on *every* path:
+	// topRanked clamps defensively, but a request for more vertices than
+	// the graph has is a caller error, not a truncation.
+	if q.Get("top") != "" && top > f.N {
+		s.fail(w, http.StatusBadRequest, "top %d out of range [1,%d]", top, f.N)
+		return
+	}
 	if shards > 1 {
 		t0 := time.Now()
 		res, err := shard.PageRank(f, damping, iters, scfg)
@@ -596,6 +614,254 @@ func topRanked(ranks []float64, top int) []rankedVertex {
 		best[i] = rankedVertex{V: idx[i], Rank: ranks[idx[i]]}
 	}
 	return best
+}
+
+// weightedView attaches deterministic symmetric edge weights to a frozen
+// snapshot (the dynamic graph stores none): the same wseed over the same
+// epoch yields the same weights, so SSSP and MST queries are reproducible.
+func weightedView(f *graph.Graph, wseed uint64) *graph.Graph {
+	return graph.AttachSymmetricWeights(f, wseed)
+}
+
+// uintParam parses an optional non-negative integer query parameter.
+func uintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 63)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// signedDists maps the uint64 distance vector to JSON-friendly int64s
+// (-1 = unreachable).
+func signedDists(dists []uint64) []int64 {
+	out := make([]int64, len(dists))
+	for i, d := range dists {
+		if d == ^uint64(0) {
+			out[i] = -1
+		} else {
+			out[i] = int64(d)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	// Validate every parameter before freezing: materializing the CSR is
+	// O(V+E) and invalid requests must not pay it.
+	snap := s.g.Snapshot()
+	src, err := strconv.Atoi(r.URL.Query().Get("src"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad src: %v", err)
+		return
+	}
+	// Graph-size validation happens here, on every path: the sharded
+	// executor re-checks, but the single-runtime algorithm would panic.
+	if src < 0 || src >= snap.N() {
+		s.fail(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, snap.N())
+		return
+	}
+	wseed, err := uintParam(r, "wseed", 1)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	delta, err := uintParam(r, "delta", 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	f := snap.Freeze()
+	wg := weightedView(f, wseed)
+	out := map[string]any{
+		"src":   src,
+		"epoch": snap.Epoch(),
+		"n":     f.N,
+		"wseed": wseed,
+	}
+	var dists []uint64
+	if shards > 1 {
+		t0 := time.Now()
+		res, err := shard.SSSP(wg, src, delta, scfg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		dists = res.Dists
+		out["buckets"] = res.Buckets
+		out["delta"] = res.Delta
+		out["sharded"] = shardSummary(shards, res.Result)
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	} else {
+		a := algo.NewSSSP(wg, 1)
+		m := s.machine(a.MemWords(), a.Handlers(nil))
+		t0 := time.Now()
+		res := m.Run(a.Body(src, s.engineCfg()))
+		dists = a.Dists(m)
+		out["machine_time_ns"] = int64(res.Elapsed)
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	}
+	s.queries.Add(1)
+	reached := 0
+	for _, d := range dists {
+		if d != ^uint64(0) {
+			reached++
+		}
+	}
+	out["reached"] = reached
+	if r.URL.Query().Get("full") == "1" {
+		out["dists"] = signedDists(dists)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	wseed, err := uintParam(r, "wseed", 1)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap := s.g.Snapshot()
+	f := snap.Freeze()
+	out := map[string]any{
+		"n":     f.N,
+		"epoch": snap.Epoch(),
+		"wseed": wseed,
+	}
+	if f.N == 0 {
+		out["weight"] = 0
+		out["edges"] = 0
+		out["components"] = 0
+		s.queries.Add(1)
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	wg := weightedView(f, wseed)
+	var labels []int32
+	if shards > 1 {
+		t0 := time.Now()
+		res, err := shard.MST(wg, scfg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		labels = res.Labels
+		out["weight"] = res.Weight
+		out["edges"] = res.Edges
+		out["rounds"] = res.Rounds
+		out["sharded"] = shardSummary(shards, res.Result)
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	} else {
+		b := algo.NewBoruvka(wg)
+		m := s.machine(b.MemWords(), b.Handlers(nil))
+		t0 := time.Now()
+		res := m.Run(b.Body(s.engineCfg()))
+		labels = b.Components(m)
+		out["weight"] = b.Weight(m)
+		out["machine_time_ns"] = int64(res.Elapsed)
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	}
+	distinct := map[int32]struct{}{}
+	for _, l := range labels {
+		distinct[l] = struct{}{}
+	}
+	out["components"] = len(distinct)
+	if _, ok := out["edges"]; !ok {
+		out["edges"] = f.N - len(distinct)
+	}
+	s.queries.Add(1)
+	if r.URL.Query().Get("full") == "1" {
+		out["labels"] = labels
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	seed, err := uintParam(r, "seed", 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The priority seed orders the sharded Jones-Plassmann coloring; the
+	// single-runtime Boman algorithm has no such knob, so an explicit
+	// seed without ?shards= would be silently ignored — reject it.
+	if r.URL.Query().Get("seed") != "" && shards <= 1 {
+		s.fail(w, http.StatusBadRequest, "seed only applies to the sharded coloring (add ?shards=N)")
+		return
+	}
+	snap := s.g.Snapshot()
+	f := snap.Freeze()
+	out := map[string]any{
+		"n":     f.N,
+		"epoch": snap.Epoch(),
+	}
+	var colors []int32
+	if shards > 1 {
+		t0 := time.Now()
+		res, err := shard.Coloring(f, seed, scfg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		colors = res.Colors
+		out["colors"] = res.Used
+		out["rounds"] = res.Rounds
+		out["seed"] = seed
+		out["sharded"] = shardSummary(shards, res.Result)
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	} else {
+		if f.N == 0 {
+			out["colors"] = 0
+			s.queries.Add(1)
+			s.writeJSON(w, http.StatusOK, out)
+			return
+		}
+		c := algo.NewColoring(f)
+		m := s.machine(c.MemWords(), c.Handlers(nil))
+		t0 := time.Now()
+		res := m.Run(c.Body(s.engineCfg(), 0))
+		var used int
+		colors, used = c.Colors(m)
+		out["colors"] = used
+		out["machine_time_ns"] = int64(res.Elapsed)
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	}
+	s.queries.Add(1)
+	if r.URL.Query().Get("full") == "1" {
+		out["per_vertex"] = colors
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 type statsResponse struct {

@@ -338,3 +338,118 @@ func TestShardedQueries(t *testing.T) {
 	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&shards=bogus", nil, 400)
 	doJSON(t, "GET", ts.URL+"/query/cc?shards=2&mech=nope", nil, 400)
 }
+
+// TestIrregularQueries exercises the SSSP, MST and coloring endpoints on
+// both the single-runtime and sharded paths and cross-checks them against
+// each other and the sequential references.
+func TestIrregularQueries(t *testing.T) {
+	base := graph.Community(150, 8, 4, 0.05, 9)
+	ts, g := newTestServer(t, base, Config{C: 8})
+
+	// SSSP: the sharded and single-runtime distance vectors must agree
+	// (same synthesized weights: same epoch, same wseed).
+	single := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1", nil, 200)
+	sharded := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1&shards=4", nil, 200)
+	if single["reached"] != sharded["reached"] {
+		t.Fatalf("reached: single %v vs sharded %v", single["reached"], sharded["reached"])
+	}
+	if !reflect.DeepEqual(single["dists"], sharded["dists"]) {
+		t.Fatal("sharded SSSP distances diverge from single-runtime path")
+	}
+	sum, ok := sharded["sharded"].(map[string]any)
+	if !ok || sum["shards"].(float64) != 4 || sum["remote_units"].(float64) <= 0 {
+		t.Fatalf("missing shard summary: %v", sharded["sharded"])
+	}
+
+	// MST: same forest weight on both paths, and the component count
+	// matches the sequential recompute.
+	mstSingle := doJSON(t, "GET", ts.URL+"/query/mst", nil, 200)
+	mstSharded := doJSON(t, "GET", ts.URL+"/query/mst?shards=3&full=1", nil, 200)
+	if mstSingle["weight"] != mstSharded["weight"] {
+		t.Fatalf("weight: single %v vs sharded %v", mstSingle["weight"], mstSharded["weight"])
+	}
+	want := algo.SeqComponents(g.Freeze())
+	distinct := map[int32]struct{}{}
+	for _, l := range want {
+		distinct[l] = struct{}{}
+	}
+	if mstSharded["components"].(float64) != float64(len(distinct)) {
+		t.Fatalf("components = %v, want %d", mstSharded["components"], len(distinct))
+	}
+	labels := mstSharded["labels"].([]any)
+	for v, l := range labels {
+		if int32(l.(float64)) != want[v] {
+			t.Fatalf("label[%d] = %v, want %d", v, l, want[v])
+		}
+	}
+
+	// Coloring: both paths proper; the sharded path is deterministic, so
+	// two runs agree color for color.
+	colSingle := doJSON(t, "GET", ts.URL+"/query/coloring?full=1", nil, 200)
+	colSharded := doJSON(t, "GET", ts.URL+"/query/coloring?shards=4&full=1", nil, 200)
+	colAgain := doJSON(t, "GET", ts.URL+"/query/coloring?shards=2&full=1", nil, 200)
+	f := g.Freeze()
+	for name, res := range map[string]map[string]any{"single": colSingle, "sharded": colSharded} {
+		colors := res["per_vertex"].([]any)
+		for v := 0; v < f.N; v++ {
+			for _, w := range f.Neighbors(v) {
+				if int(w) != v && colors[v] == colors[w] {
+					t.Fatalf("%s: edge %d-%d monochromatic", name, v, w)
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(colSharded["per_vertex"], colAgain["per_vertex"]) {
+		t.Fatal("sharded coloring not deterministic across shard counts")
+	}
+
+	// ?mech= composes, and a different wseed changes the metric space.
+	doJSON(t, "GET", ts.URL+"/query/sssp?src=0&shards=2&mech=flatcomb", nil, 200)
+	other := doJSON(t, "GET", ts.URL+"/query/mst?wseed=99", nil, 200)
+	if other["weight"] == mstSingle["weight"] {
+		t.Fatal("different wseed produced identical forest weight (suspicious)")
+	}
+}
+
+// TestQueryValidationRegressions pins the 400 behavior for out-of-range
+// parameters on the single-runtime paths: before the hardening these
+// could reach the algorithm with an out-of-range vertex (panic/500) or
+// silently clamp.
+func TestQueryValidationRegressions(t *testing.T) {
+	base := graph.Community(60, 6, 4, 0.05, 3)
+	ts, _ := newTestServer(t, base, Config{})
+	cases := []struct{ name, path string }{
+		{"bfs huge src single-runtime", "/query/bfs?src=10000000"},
+		{"bfs huge src sharded", "/query/bfs?src=10000000&shards=4"},
+		{"sssp no src", "/query/sssp"},
+		{"sssp huge src single-runtime", "/query/sssp?src=10000000"},
+		{"sssp huge src sharded", "/query/sssp?src=10000000&shards=4"},
+		{"sssp neg src", "/query/sssp?src=-1"},
+		{"sssp bad delta", "/query/sssp?src=0&delta=-3"},
+		{"sssp bad wseed", "/query/sssp?src=0&wseed=zz"},
+		{"sssp bad shards", "/query/sssp?src=0&shards=0"},
+		{"sssp bad mech", "/query/sssp?src=0&shards=2&mech=nope"},
+		{"mst bad wseed", "/query/mst?wseed=-1"},
+		{"mst bad shards", "/query/mst?shards=bogus"},
+		{"coloring bad seed", "/query/coloring?seed=x"},
+		{"coloring seed without shards", "/query/coloring?seed=7"},
+		{"coloring bad mech", "/query/coloring?shards=2&mech=tm"},
+		{"pagerank huge top single-runtime", "/query/pagerank?top=10000000"},
+		{"pagerank huge top sharded", "/query/pagerank?top=10000000&shards=2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := doJSON(t, "GET", ts.URL+c.path, nil, 400)
+			if res["error"] == "" {
+				t.Fatal("missing error message")
+			}
+		})
+	}
+	// The default top (no explicit param) still clamps instead of failing
+	// on small graphs.
+	doJSON(t, "GET", ts.URL+"/query/pagerank?iters=2", nil, 200)
+	// Wrong methods on the new endpoints.
+	doJSON(t, "POST", ts.URL+"/query/sssp?src=0", nil, 405)
+	doJSON(t, "DELETE", ts.URL+"/query/mst", nil, 405)
+	doJSON(t, "POST", ts.URL+"/query/coloring", nil, 405)
+}

@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// ColoringResult carries the sharded greedy-coloring outcome.
+type ColoringResult struct {
+	// Colors[v] is v's color (0-based); Used is the number of colors.
+	Colors []int32
+	Used   int
+	// Rounds counts the frontier rounds until every vertex was colored.
+	Rounds int
+	Result
+}
+
+// prioKey returns v's priority key; *smaller* keys color earlier. seed 0
+// is the identity order (key = v), which makes the sharded coloring
+// reproduce algo.GreedyColoring exactly; any other seed is the Luby/
+// Jones-Plassmann random order, hashed per vertex with the id as
+// tie-break so the total order is strict and — crucially — a pure
+// function of (seed, v), independent of shard count, mechanism, flush
+// policy and scheduling.
+func prioKey(seed uint64, v int) uint64 {
+	if seed == 0 {
+		return uint64(v)
+	}
+	h := (uint64(v) + 0x9E3779B97F4A7C15) * seed
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h<<32 | uint64(uint32(v))
+}
+
+// Coloring greedy-colors the graph across cfg.Shards shards in the
+// Luby/Jones-Plassmann style (the paper's §3.3.5 coloring case study,
+// restructured for the shard executor): a deterministic per-vertex
+// priority induces a total order; a vertex whose higher-priority
+// neighbors are all colored picks the smallest color unused among them
+// and notifies its lower-priority neighbors. The notifications are the
+// active messages: every edge carries exactly one FF&AS counter decrement
+// from its higher-priority endpoint to the lower one, cross-shard
+// decrements travel as coalesced batches, and a vertex whose counter hits
+// zero enters the next round's frontier. Within one round the frontier is
+// an independent set of the priority order, so the neighbor colors a
+// frontier vertex reads (including across shards) are quiescent.
+//
+// The resulting coloring equals the sequential greedy coloring in
+// priority order — with seed 0, exactly algo.GreedyColoring — for every
+// shard count, mechanism and flush policy, and never uses more than
+// maxDegree+1 colors.
+func Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringResult, error) {
+	if g.N == 0 {
+		return ColoringResult{Colors: []int32{}}, nil
+	}
+	ex, err := New(g, 2, cfg) // word 0: color+1, word L+lv: pending count
+	if err != nil {
+		return ColoringResult{}, err
+	}
+	L := ex.Part.MaxLocal()
+	W := ex.Workers()
+
+	// Per-worker frontier segments (owner-local ids), like the BFS
+	// frontier: OnCommit runs on the applying worker, which appends only
+	// to its own segment.
+	cur := make([][]int32, W)
+	next := make([][]int32, W)
+
+	// higher reports whether u precedes v in the coloring order.
+	higher := func(u, v int) bool { return prioKey(seed, u) < prioKey(seed, v) }
+
+	var colorOp int
+	// decrement is the notification operator: one unit per edge, sent by
+	// the freshly colored higher-priority endpoint.
+	decrement := ex.Register(&Op{
+		Name:   "color-notify",
+		Addr:   func(lv int, arg uint64) int { return L + lv },
+		Mutate: func(c, arg uint64) (uint64, bool) { return c - 1, true }, // Always-Succeed
+		OnCommit: func(w *Worker, lv int, arg uint64) {
+			if w.S.Load(L+lv) == 0 {
+				next[w.Index()] = append(next[w.Index()], int32(lv))
+			}
+		},
+	})
+	colorOp = ex.Register(&Op{
+		Name: "color-set",
+		Addr: func(lv int, arg uint64) int { return lv },
+		Mutate: func(c, arg uint64) (uint64, bool) {
+			if c != 0 {
+				return 0, false // already colored (cannot happen: queued once)
+			}
+			return arg + 1, true
+		},
+		OnCommit: func(w *Worker, lv int, arg uint64) {
+			// Notify lower-priority neighbors; cross-shard notifications
+			// coalesce into May-Fail batches.
+			v := w.S.ex.Part.Global(w.S.ID, lv)
+			for _, nv := range w.S.ex.G.Neighbors(v) {
+				if int(nv) != v && higher(v, int(nv)) {
+					w.Spawn(decrement, int(nv), 0)
+				}
+			}
+		},
+	})
+
+	// mex scratch: used[c] == stamp marks color c as taken by a
+	// higher-priority neighbor. One array per worker, stamp-reset.
+	maxDeg := g.MaxDegree()
+	used := make([][]uint32, W)
+	stamps := make([]uint32, W)
+	for i := range used {
+		used[i] = make([]uint32, maxDeg+2)
+	}
+
+	t0 := time.Now()
+	// Init: pending counts and the round-0 frontier (vertices with no
+	// higher-priority neighbor).
+	ex.Parallel(func(w *Worker) {
+		i := w.Index()
+		lo, hi := w.Range()
+		for v := lo; v < hi; v++ {
+			pending := uint64(0)
+			for _, nv := range g.Neighbors(v) {
+				if int(nv) != v && higher(int(nv), v) {
+					pending++
+				}
+			}
+			w.S.Store(L+ex.Part.Local(v), pending)
+			if pending == 0 {
+				cur[i] = append(cur[i], int32(ex.Part.Local(v)))
+			}
+		}
+	})
+
+	rounds := 0
+	for {
+		total := 0
+		for i := range cur {
+			total += len(cur[i])
+		}
+		if total == 0 {
+			break
+		}
+		rounds++
+		ex.Parallel(func(w *Worker) {
+			i := w.Index()
+			s := w.S
+			for _, lv := range cur[i] {
+				v := ex.Part.Global(s.ID, int(lv))
+				// All higher-priority neighbors are colored and quiescent
+				// (the frontier is independent in the priority order), so
+				// cross-shard color reads are stable.
+				stamps[i]++
+				stamp := stamps[i]
+				for _, nv := range g.Neighbors(v) {
+					if int(nv) == v || !higher(int(nv), v) {
+						continue
+					}
+					c := ex.shards[ex.Part.Owner(int(nv))].Load(ex.Part.Local(int(nv)))
+					if c > 0 && int(c-1) < len(used[i]) {
+						used[i][c-1] = stamp
+					}
+				}
+				color := uint64(0)
+				for used[i][color] == stamp {
+					color++
+				}
+				w.Spawn(colorOp, v, color)
+			}
+		})
+		ex.Drain()
+		for i := range cur {
+			cur[i] = cur[i][:0]
+		}
+		cur, next = next, cur
+	}
+	elapsed := time.Since(t0)
+
+	colors := make([]int32, g.N)
+	usedColors := 0
+	for v := 0; v < g.N; v++ {
+		raw := ex.shards[ex.Part.Owner(v)].Load(ex.Part.Local(v))
+		colors[v] = int32(raw) - 1
+		if int(raw) > usedColors {
+			usedColors = int(raw)
+		}
+	}
+	res := ex.Result()
+	res.Elapsed = elapsed
+	return ColoringResult{Colors: colors, Used: usedColors, Rounds: rounds, Result: res}, nil
+}

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"testing"
+)
+
+// TestDrainDeliversLateChainedSpawns guards the pendingBatches accounting
+// in Drain: operators whose OnCommit hooks spawn further cross-shard
+// operators keep producing units *while the barrier is already running*
+// (batches applied during drainInbox refill coalescing buffers that the
+// next flush pass must pick up). Under the epoch flush policy nothing is
+// flushed before the barrier, so every unit of every chain crosses
+// Drain's flush→deliver loop at least once; a single lost batch would
+// show up as a miscounted increment total or as sent≠received counters.
+func TestDrainDeliversLateChainedSpawns(t *testing.T) {
+	const (
+		n     = 64
+		hops  = 23 // chain length per seed; stride keeps most hops cross-shard
+		seeds = 4  // chains seeded per vertex
+	)
+	g := pathGraph(n)
+	for _, mech := range allMechs {
+		ex, err := New(g, 1, Config{Shards: 4, Workers: 2, Flush: FlushByEpoch, Mechanism: mech})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var relay int
+		relay = ex.Register(&Op{
+			Name:   "relay",
+			Addr:   func(lv int, arg uint64) int { return lv },
+			Mutate: func(c, arg uint64) (uint64, bool) { return c + 1, true },
+			OnCommit: func(w *Worker, lv int, arg uint64) {
+				if arg == 0 {
+					return
+				}
+				gv := w.S.ex.Part.Global(w.S.ID, lv)
+				w.Spawn(relay, (gv+17)%n, arg-1)
+			},
+		})
+
+		// Seed chains from every worker, then issue one Drain: the barrier
+		// itself must shepherd all chained spawns to quiescence.
+		ex.Parallel(func(w *Worker) {
+			lo, hi := w.Range()
+			for v := lo; v < hi; v++ {
+				for s := 0; s < seeds; s++ {
+					w.Spawn(relay, (v+31)%n, hops)
+				}
+			}
+		})
+		ex.Drain()
+
+		var total uint64
+		for _, s := range ex.Shards() {
+			for v := s.Lo; v < s.Hi; v++ {
+				total += s.Load(ex.Part.Local(v))
+			}
+		}
+		if want := uint64(n * seeds * (hops + 1)); total != want {
+			t.Fatalf("%v: %d increments applied, want %d (lost batch?)", mech, total, want)
+		}
+		tot := ex.Result().Totals()
+		if tot.RemoteUnitsSent != tot.RemoteUnitsRecv {
+			t.Fatalf("%v: %d units sent but %d received", mech, tot.RemoteUnitsSent, tot.RemoteUnitsRecv)
+		}
+		if tot.RemoteBatchesSent != tot.RemoteBatchesRecv {
+			t.Fatalf("%v: %d batches sent but %d received", mech, tot.RemoteBatchesSent, tot.RemoteBatchesRecv)
+		}
+		if pending := ex.pendingBatches(); pending != 0 {
+			t.Fatalf("%v: %d batches still undelivered after Drain", mech, pending)
+		}
+		for _, s := range ex.Shards() {
+			for _, w := range s.workers {
+				for dst := range ex.Shards() {
+					if p := w.Pending(dst); p != 0 {
+						t.Fatalf("%v: worker %d.%d still buffers %d units toward %d", mech, s.ID, w.ID, p, dst)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// MSTResult carries the sharded Borůvka minimum-spanning-forest outcome.
+type MSTResult struct {
+	// Weight is the total forest weight; Edges the number of forest edges
+	// (n minus the number of connected components).
+	Weight uint64
+	Edges  int
+	// Labels[v] is the smallest vertex id in v's component (the same
+	// convention as algo.SeqComponents, so labelings are directly
+	// comparable).
+	Labels []int32
+	// Arcs lists the CSR arc positions of the selected forest edges (one
+	// arbitrary direction per edge), for forest validation.
+	Arcs []int64
+	// Rounds counts the Borůvka rounds until no component had an outgoing
+	// edge.
+	Rounds int
+	Result
+}
+
+// MST computes a minimum spanning forest with Borůvka's algorithm across
+// cfg.Shards shards. Like the single-runtime algo.Boruvka (§3.3.3), each
+// round selects every component's minimum outgoing edge and merges along
+// it; the sharded port splits the round into barrier-separated phases on
+// the coalescing executor:
+//
+//  1. propose — every shard scans its vertices and spawns an FF&MF
+//     min-combine of (weight, arc) toward the owner of the endpoint's
+//     component root; cross-shard proposals travel as coalesced May-Fail
+//     batches and losers fail benignly (the min is a meet-semilattice, so
+//     the winner is order-independent).
+//  2. decide — every root reads its proposal and the other endpoint's
+//     root o; it hooks under o unless the pair mutually selected the same
+//     edge and this root has the smaller id (the standard 2-cycle break;
+//     distinct weights make longer cycles impossible).
+//  3. hook + pointer-jump — decisions are applied (each root's pointer is
+//     written only by its owner) and the component forest is compressed
+//     by concurrent pointer jumping until flat.
+//
+// Component pointers and proposal words are read across shards through
+// the executor's atomic accessors; all such reads happen in phases where
+// the words are quiescent (see DESIGN.md §5), while every cross-shard
+// *mutation* still travels as an active-message batch. The graph must
+// carry distinct edge weights (use graph.SymmetricWeight), the same
+// requirement as algo.Boruvka; the forest weight and the min-id component
+// labeling are then unique, so results are identical to the sequential
+// Kruskal reference for every shard count, mechanism and flush policy.
+func MST(g *graph.Graph, cfg Config) (MSTResult, error) {
+	if g.Weights == nil {
+		return MSTResult{}, fmt.Errorf("shard: MST needs edge weights")
+	}
+	if int64(len(g.Adj)) > math.MaxUint32 {
+		return MSTResult{}, fmt.Errorf("shard: MST packs arc positions into 32 bits; graph has %d arcs", len(g.Adj))
+	}
+	if g.N == 0 {
+		return MSTResult{Labels: []int32{}}, nil
+	}
+	ex, err := New(g, 2, cfg) // word 0: component pointer, word L+lv: proposal
+	if err != nil {
+		return MSTResult{}, err
+	}
+	L := ex.Part.MaxLocal()
+	W := ex.Workers()
+
+	// edgeSrc[pos] is the source vertex of arc pos (CSR inverse), shared
+	// read-only by all workers.
+	edgeSrc := make([]int32, len(g.Adj))
+	for v := 0; v < g.N; v++ {
+		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+			edgeSrc[i] = int32(v)
+		}
+	}
+
+	// comp reads vertex v's component pointer (cross-shard safe: the
+	// phases below only read it while it is quiescent).
+	comp := func(v int) int {
+		return int(ex.shards[ex.Part.Owner(v)].Load(ex.Part.Local(v)))
+	}
+	prop := func(v int) uint64 {
+		return ex.shards[ex.Part.Owner(v)].Load(L + ex.Part.Local(v))
+	}
+
+	propose := ex.Register(&Op{
+		Name: "mst-propose",
+		Addr: func(lv int, arg uint64) int { return L + lv },
+		Mutate: func(c, arg uint64) (uint64, bool) {
+			if arg >= c {
+				return 0, false // not the minimum: May-Fail failure
+			}
+			return arg, true
+		},
+	})
+
+	type hook struct {
+		lv     int32 // owner-local root to relink
+		target int64 // new parent (global vertex id)
+	}
+	hooks := make([][]hook, W)
+	arcs := make([][]int64, W)
+	weights := make([]uint64, W)
+	proposals := make([]uint64, W)
+	jumps := make([]uint64, W)
+
+	t0 := time.Now()
+	ex.Parallel(func(w *Worker) {
+		lo, hi := w.Range()
+		for v := lo; v < hi; v++ {
+			w.S.Store(ex.Part.Local(v), uint64(v)) // singleton components
+		}
+	})
+
+	rounds := 0
+	for {
+		rounds++
+		// Reset proposals in their own phase: a locally applied propose
+		// must never race the reset of another worker of the same shard.
+		ex.Parallel(func(w *Worker) {
+			lo, hi := w.Range()
+			for v := lo; v < hi; v++ {
+				w.S.Store(L+ex.Part.Local(v), math.MaxUint64)
+			}
+			proposals[w.Index()] = 0
+		})
+
+		// Propose: min outgoing edge per component. Pointers are flat and
+		// quiescent, so a single (possibly remote) read resolves a root.
+		ex.Parallel(func(w *Worker) {
+			lo, hi := w.Range()
+			for v := lo; v < hi; v++ {
+				rv := int(w.S.Load(ex.Part.Local(v)))
+				ws := g.EdgeWeights(v)
+				for i, x := range g.Neighbors(v) {
+					if comp(int(x)) == rv {
+						continue
+					}
+					pos := g.Offsets[v] + int64(i)
+					w.Spawn(propose, rv, uint64(ws[i])<<32|uint64(pos))
+					proposals[w.Index()]++
+				}
+			}
+		})
+		ex.Drain()
+
+		total := uint64(0)
+		for _, p := range proposals {
+			total += p
+		}
+		if total == 0 {
+			break
+		}
+
+		// Decide: proposal and pointer words are quiescent. A root hooks
+		// under the other endpoint's root unless the two mutually picked
+		// the same edge (equal weights ⇒ same edge, weights being
+		// distinct) and this root has the smaller id — the smaller root
+		// survives as the merged component's representative candidate.
+		ex.Parallel(func(w *Worker) {
+			i := w.Index()
+			hooks[i] = hooks[i][:0]
+			lo, hi := w.Range()
+			for r := lo; r < hi; r++ {
+				lv := ex.Part.Local(r)
+				if int(w.S.Load(lv)) != r {
+					continue // not a root
+				}
+				p := w.S.Load(L + lv)
+				if p == math.MaxUint64 {
+					continue
+				}
+				pos := int64(uint32(p))
+				x := int(g.Adj[pos])
+				o := comp(x)
+				if o == r {
+					// The proposal edge became intra-component by an
+					// earlier round's merge; skip (cannot happen with
+					// distinct weights, kept as a safety net).
+					continue
+				}
+				if p>>32 == prop(o)>>32 && r < o {
+					continue // mutual minimum edge: only the larger hooks
+				}
+				hooks[i] = append(hooks[i], hook{lv: int32(lv), target: int64(o)})
+				arcs[i] = append(arcs[i], pos)
+				weights[i] += p >> 32
+			}
+		})
+
+		// Hook: each root's pointer is written only by its owning worker.
+		ex.Parallel(func(w *Worker) {
+			for _, h := range hooks[w.Index()] {
+				w.S.Store(int(h.lv), uint64(h.target))
+			}
+		})
+
+		// Pointer jumping until the forest is flat. Concurrent jumps read
+		// possibly mid-flight pointers of other shards; every observed
+		// value is an ancestor, so chains only shorten and a pass with no
+		// change certifies flatness.
+		for {
+			for i := range jumps {
+				jumps[i] = 0
+			}
+			ex.Parallel(func(w *Worker) {
+				lo, hi := w.Range()
+				for v := lo; v < hi; v++ {
+					lv := ex.Part.Local(v)
+					p := int(w.S.Load(lv))
+					if p == v {
+						continue
+					}
+					gp := comp(p)
+					if gp != p {
+						w.S.Store(lv, uint64(gp))
+						jumps[w.Index()]++
+					}
+				}
+			})
+			changed := uint64(0)
+			for _, c := range jumps {
+				changed += c
+			}
+			if changed == 0 {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+
+	// Gather: normalize component labels to the minimum vertex id, the
+	// unique labeling SeqComponents also produces.
+	labels := make([]int32, g.N)
+	minOf := make(map[int]int32, 16)
+	for v := 0; v < g.N; v++ {
+		r := comp(v)
+		if _, ok := minOf[r]; !ok {
+			minOf[r] = int32(v) // v ascends: first hit is the minimum
+		}
+		labels[v] = minOf[r]
+	}
+	out := MSTResult{Labels: labels, Rounds: rounds}
+	for i := 0; i < W; i++ {
+		out.Weight += weights[i]
+		out.Edges += len(arcs[i])
+		out.Arcs = append(out.Arcs, arcs[i]...)
+	}
+	res := ex.Result()
+	res.Elapsed = elapsed
+	out.Result = res
+	return out, nil
+}

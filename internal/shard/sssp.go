@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// SSSPResult carries the sharded single-source shortest-path distances:
+// Dists[v] is the weighted distance from the source (MaxUint64 when
+// unreachable).
+type SSSPResult struct {
+	Dists []uint64
+	// Buckets counts the distinct delta-stepping buckets processed.
+	Buckets int
+	// Delta is the bucket width the run actually used (the auto-selected
+	// value when the caller passed 0).
+	Delta uint64
+	Result
+}
+
+// infDist is the unreachable marker in SSSPResult.Dists.
+const infDist = ^uint64(0)
+
+// autoDelta picks a bucket width for delta-stepping when the caller does
+// not: maxWeight/avgDegree, the classic Θ(W/d̄) choice that keeps the
+// expected relaxations per bucket near the frontier width.
+func autoDelta(g *graph.Graph) uint64 {
+	var maxW uint64
+	for _, w := range g.Weights {
+		if uint64(w) > maxW {
+			maxW = uint64(w)
+		}
+	}
+	d := uint64(g.AvgDegree())
+	if d < 1 {
+		d = 1
+	}
+	delta := maxW / d
+	if delta < 1 {
+		delta = 1
+	}
+	return delta
+}
+
+// SSSP runs delta-stepping single-source shortest paths from src across
+// cfg.Shards shards. The relax operator is the same FF&MF min-combine as
+// the single-runtime internal/algo SSSP (§5.4.1): one activity improves a
+// vertex's distance word, losers fail benignly, and cross-shard
+// relaxations travel as coalesced May-Fail batches. Where the
+// single-runtime version relaxes chaotically under the AAM quiescence
+// protocol, the sharded version layers a shared bucket-epoch barrier on
+// Drain(): vertices are bucketed by floor(dist/delta), the coordinator
+// advances to the globally smallest non-empty bucket between barriers,
+// and a bucket is re-processed until it stops refilling (its own
+// relaxations may land back in it). Because every relaxation spawned from
+// bucket b carries a distance >= b*delta, settled buckets are never
+// reopened, and the fixed point — the true shortest distance, unique
+// regardless of relaxation order — matches the sequential Dijkstra
+// reference for every shard count, batch size, flush policy and
+// mechanism. delta == 0 selects autoDelta.
+func SSSP(g *graph.Graph, src int, delta uint64, cfg Config) (SSSPResult, error) {
+	if g.Weights == nil {
+		return SSSPResult{}, fmt.Errorf("shard: SSSP needs edge weights")
+	}
+	if src < 0 || src >= g.N {
+		return SSSPResult{}, fmt.Errorf("shard: SSSP source %d out of range [0,%d)", src, g.N)
+	}
+	if delta == 0 {
+		delta = autoDelta(g)
+	}
+	ex, err := New(g, 1, cfg) // one word per vertex: dist+1, 0 = infinity
+	if err != nil {
+		return SSSPResult{}, err
+	}
+	L := ex.Part.MaxLocal()
+	W := ex.Workers()
+
+	// Per-worker bucket lists of owner-local vertex ids, keyed by bucket
+	// index. OnCommit runs on the applying worker, so each worker appends
+	// only to its own map. queued[shard*L+lv] holds bucket+1 of the bucket
+	// the vertex currently waits in (0 = none): a vertex improved twice
+	// within one epoch is queued once, in the bucket of its best distance,
+	// which both prunes redundant re-expansions and keeps the spawn
+	// traffic deterministic for single-worker shards.
+	buckets := make([]map[uint64][]int32, W)
+	for i := range buckets {
+		buckets[i] = make(map[uint64][]int32)
+	}
+	queued := make([]uint64, ex.cfg.Shards*L)
+
+	relax := ex.Register(&Op{
+		Name: "sssp-relax",
+		Addr: func(lv int, arg uint64) int { return lv },
+		Mutate: func(c, arg uint64) (uint64, bool) {
+			if c != 0 && c <= arg+1 {
+				return 0, false // no improvement: May-Fail failure
+			}
+			return arg + 1, true
+		},
+		OnCommit: func(w *Worker, lv int, arg uint64) {
+			nb := arg / delta
+			q := &queued[w.S.ID*L+lv]
+			for {
+				cur := atomic.LoadUint64(q)
+				// Improvements only lower the distance, so an already
+				// queued vertex sits in bucket cur-1 >= nb; re-queue only
+				// when the bucket actually moved down.
+				if cur != 0 && cur-1 <= nb {
+					return
+				}
+				if atomic.CompareAndSwapUint64(q, cur, nb+1) {
+					break
+				}
+			}
+			buckets[w.Index()][nb] = append(buckets[w.Index()][nb], int32(lv))
+		},
+	})
+
+	t0 := time.Now()
+	owner := ex.Part.Owner(src)
+	ls := ex.Part.Local(src)
+	ex.shards[owner].Store(ls, 1) // dist 0
+	queued[owner*L+ls] = 1        // bucket 0
+	buckets[owner*ex.cfg.Workers][0] = append(buckets[owner*ex.cfg.Workers][0], int32(ls))
+
+	// minBucket scans the per-worker maps between barriers.
+	minBucket := func() (uint64, bool) {
+		best, ok := uint64(0), false
+		for _, m := range buckets {
+			for b, list := range m {
+				if len(list) == 0 {
+					delete(m, b)
+					continue
+				}
+				if !ok || b < best {
+					best, ok = b, true
+				}
+			}
+		}
+		return best, ok
+	}
+
+	processed := 0
+	for {
+		b, ok := minBucket()
+		if !ok {
+			break
+		}
+		processed++
+		// Inner loop: re-process bucket b until its lists stop refilling
+		// (zero-cost and small-weight relaxations land back in b).
+		for {
+			ex.Parallel(func(w *Worker) {
+				i := w.Index()
+				list := buckets[i][b]
+				if len(list) == 0 {
+					return
+				}
+				delete(buckets[i], b)
+				// Sort for a deterministic expansion order: entries arrive
+				// in inbox-batch order, which goroutine scheduling perturbs.
+				sort.Slice(list, func(x, y int) bool { return list[x] < list[y] })
+				s := w.S
+				for _, lv := range list {
+					q := &queued[s.ID*L+int(lv)]
+					if atomic.LoadUint64(q) != b+1 {
+						continue // moved to an earlier bucket: stale entry
+					}
+					atomic.StoreUint64(q, 0)
+					d := s.Load(int(lv)) - 1
+					if d/delta != b {
+						continue
+					}
+					u := ex.Part.Global(s.ID, int(lv))
+					ws := g.EdgeWeights(u)
+					for j, nv := range g.Neighbors(u) {
+						w.Spawn(relax, int(nv), d+uint64(ws[j]))
+					}
+				}
+			})
+			ex.Drain()
+			refilled := false
+			for _, m := range buckets {
+				if len(m[b]) > 0 {
+					refilled = true
+					break
+				}
+			}
+			if !refilled {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+
+	dists := make([]uint64, g.N)
+	for v := 0; v < g.N; v++ {
+		raw := ex.shards[ex.Part.Owner(v)].Load(ex.Part.Local(v))
+		if raw == 0 {
+			dists[v] = infDist
+		} else {
+			dists[v] = raw - 1
+		}
+	}
+	res := ex.Result()
+	res.Elapsed = elapsed
+	return SSSPResult{Dists: dists, Buckets: processed, Delta: delta, Result: res}, nil
+}
