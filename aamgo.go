@@ -149,6 +149,11 @@ type Config struct {
 	// RunInfo.Stats stays empty — use the Sharded* functions for the
 	// per-shard counters.
 	Shards int
+	// Part selects the sharded vertex distribution: PartBlock (default,
+	// equal vertex counts per shard) or PartEdge (edge-balanced prefix-sum
+	// boundaries, the skew-resistant choice for power-law graphs). Only
+	// meaningful with Shards > 1; results are identical under both.
+	Part PartScheme
 }
 
 func (c Config) resolve() (exec.MachineProfile, Config, error) {
@@ -181,12 +186,14 @@ func (c Config) resolve() (exec.MachineProfile, Config, error) {
 }
 
 // sharded maps the façade Config onto the shard executor: C becomes the
-// coalescing batch size, Mechanism the per-shard isolation.
+// coalescing batch size, Mechanism the per-shard isolation, Part the
+// vertex distribution.
 func (c Config) sharded() shard.Config {
 	return shard.Config{
 		Shards:    c.Shards,
 		BatchSize: c.C,
 		Mechanism: c.Mechanism,
+		Part:      c.Part,
 	}
 }
 
@@ -494,6 +501,12 @@ type (
 	// FlushPolicy selects when coalescing buffers flush (eager, at batch
 	// size, or at the epoch barrier).
 	FlushPolicy = shard.FlushPolicy
+	// PartScheme selects the sharded vertex distribution (block or
+	// edge-balanced).
+	PartScheme = shard.PartScheme
+	// Direction selects the sharded-BFS traversal strategy (auto-switching
+	// direction optimization, push-only, or pull-only).
+	Direction = shard.Direction
 )
 
 // Coalescing-buffer flush policies.
@@ -501,6 +514,23 @@ const (
 	FlushBySize  = shard.FlushBySize
 	FlushEager   = shard.FlushEager
 	FlushByEpoch = shard.FlushByEpoch
+)
+
+// Sharded vertex distributions.
+const (
+	// PartBlock splits the vertex set into equal-count contiguous blocks
+	// (the paper's §3.1 1-D distribution).
+	PartBlock = shard.PartBlock
+	// PartEdge balances outgoing-arc counts per shard instead — prefix-sum
+	// boundaries over the degree array with a binary-search Owner.
+	PartEdge = shard.PartEdge
+)
+
+// Sharded-BFS traversal directions (ShardedConfig.Dir).
+const (
+	DirAuto = shard.DirAuto
+	DirPush = shard.DirPush
+	DirPull = shard.DirPull
 )
 
 // ShardedBFS runs the shard-parallel BFS from src with full per-shard
@@ -604,8 +634,13 @@ type (
 	MachineConfig = exec.Config
 	// MachineProfile is the per-architecture cost model.
 	MachineProfile = exec.MachineProfile
-	// Partition maps global vertices to owner nodes.
+	// Partition maps global vertices to owner nodes (1-D block).
 	Partition = graph.Partition
+	// EdgePartition maps global vertices to owner nodes with edge-balanced
+	// contiguous ranges.
+	EdgePartition = graph.EdgePartition
+	// Partitioner abstracts the two vertex→owner maps.
+	Partitioner = graph.Partitioner
 )
 
 // Distributed-transaction support (§4.3's ownership protocol): activities
@@ -635,6 +670,9 @@ func NewEngine(rt *Runtime, ctx Context, cfg EngineConfig) *Engine {
 
 // NewPartition builds a 1-D block partition of n vertices over nodes.
 func NewPartition(n, nodes int) Partition { return graph.NewPartition(n, nodes) }
+
+// NewEdgePartition builds an edge-balanced partition of g over nodes.
+func NewEdgePartition(g *Graph, nodes int) EdgePartition { return graph.NewEdgePartition(g, nodes) }
 
 // NewMachine constructs a machine of the given backend ("sim"/"native").
 func NewMachine(backend string, cfg MachineConfig) Machine { return run.New(backend, cfg) }

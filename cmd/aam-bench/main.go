@@ -6,6 +6,7 @@
 //	aam-bench -list
 //	aam-bench -run fig4-bgq [-scale 2] [-csv out/]
 //	aam-bench -run sharded,streaming -json BENCH_ci.json
+//	aam-bench -run sharded -cpuprofile cpu.out -memprofile mem.out
 //	aam-bench -all [-scale 0]
 //
 // Each experiment prints its data tables, free-form notes, and the shape
@@ -19,13 +20,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"aamgo/internal/bench"
 )
 
-func main() {
+// main defers to run so the profile writers (deferred) still fire on the
+// failure exits.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
 		runID    = flag.String("run", "", "run one experiment by id")
@@ -34,8 +41,25 @@ func main() {
 		csv      = flag.String("csv", "", "directory for per-table CSV dumps")
 		jsonPath = flag.String("json", "", "file for machine-readable metrics (bench-smoke CI gate)")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aam-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aam-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeHeapProfile(*memProf)
 
 	ci := bench.CIReport{Scale: *scale, Seed: *seed}
 
@@ -45,7 +69,7 @@ func main() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 			fmt.Printf("%22s %s\n", "", e.Paper)
 		}
-		return
+		return 0
 
 	case *runID != "":
 		failures := 0
@@ -55,7 +79,7 @@ func main() {
 		writeCI(*jsonPath, ci)
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "aam-bench: %d shape checks failed\n", failures)
-			os.Exit(1)
+			return 1
 		}
 
 	case *all:
@@ -66,12 +90,31 @@ func main() {
 		writeCI(*jsonPath, ci)
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "aam-bench: %d shape checks failed\n", failures)
-			os.Exit(1)
+			return 1
 		}
 
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	return 0
+}
+
+// writeHeapProfile dumps an up-to-date allocation profile (no-op when path
+// is empty).
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aam-bench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // flush recent frees so the profile reflects live heap
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "aam-bench:", err)
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 //	aam-serve [-addr :8080] [-graph file] [-gen kron -scale 12 -ef 8]
 //	          [-mech htm|atomic|lock|occ|flatcomb] [-backend sim|native]
-//	          [-machine has-c] [-threads 4] [-workers 8]
+//	          [-machine has-c] [-threads 4] [-workers 8] [-pprof]
 //
 // Examples:
 //
@@ -52,6 +52,7 @@ func main() {
 		threads = flag.Int("threads", 4, "threads per machine run")
 		workers = flag.Int("workers", 8, "max concurrent requests doing graph work")
 		coarsen = flag.Int("m", 16, "coarsening factor M (operators per transaction)")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		M:             *coarsen,
 		MaxConcurrent: *workers,
 		Seed:          *seed,
+		EnablePprof:   *pprofOn,
 	})
 	if err != nil {
 		log.Fatalf("aam-serve: %v", err)

@@ -53,6 +53,28 @@ func main() {
 			shards, ms, base/ms, res.Levels, tot.RemoteUnitsSent, tot.RemoteBatchesSent)
 	}
 
+	// BFS is direction-optimizing by default; forcing push-only shows what
+	// the per-level push/pull switch saves on a frontier-heavy R-MAT graph.
+	// PartEdge swaps the block distribution for edge-balanced boundaries.
+	fmt.Println("\ndirection + partition (BFS, 4 shards):")
+	for _, c := range []struct {
+		label string
+		cfg   aamgo.ShardedConfig
+	}{
+		{"push-only, block", aamgo.ShardedConfig{Shards: 4, Dir: aamgo.DirPush}},
+		{"auto,      block", aamgo.ShardedConfig{Shards: 4}},
+		{"auto,      edge ", aamgo.ShardedConfig{Shards: 4, Part: aamgo.PartEdge}},
+	} {
+		res, err := aamgo.ShardedBFS(g, src, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tot := res.Totals()
+		fmt.Printf("  %s: %6.2f ms  %d push + %d pull levels, %d remote units, %.1f allocs/epoch\n",
+			c.label, float64(res.Elapsed.Nanoseconds())/1e6,
+			res.PushLevels, res.PullLevels, tot.RemoteUnitsSent, res.AllocsPerEpoch())
+	}
+
 	// The sharded PageRank accumulates in the same fixed point as the
 	// single-runtime version: the rank vectors are bit-identical.
 	sres, err := aamgo.ShardedPageRank(g, 0.85, 5, aamgo.ShardedConfig{

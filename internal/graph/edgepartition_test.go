@@ -1,0 +1,167 @@
+package graph
+
+import "testing"
+
+// checkPartitionerInvariants is checkInvariants generalized over the
+// Partitioner interface: disjoint contiguous ranges covering [0, n),
+// Owner/Range agreement, Local/Global round-trips, MaxLocal bounds.
+func checkPartitionerInvariants(t *testing.T, p Partitioner, n, nodes int) {
+	t.Helper()
+	covered := 0
+	prevHi := 0
+	for node := 0; node < nodes; node++ {
+		lo, hi := p.Range(node)
+		if lo > hi {
+			t.Fatalf("n=%d nodes=%d node=%d: inverted range [%d,%d)", n, nodes, node, lo, hi)
+		}
+		if node > 0 && lo != prevHi {
+			t.Fatalf("n=%d nodes=%d node=%d: range [%d,%d) not contiguous after %d", n, nodes, node, lo, hi, prevHi)
+		}
+		if hi-lo > p.MaxLocal() {
+			t.Fatalf("n=%d nodes=%d node=%d: block %d exceeds MaxLocal %d", n, nodes, node, hi-lo, p.MaxLocal())
+		}
+		covered += hi - lo
+		prevHi = hi
+	}
+	if covered != n {
+		t.Fatalf("n=%d nodes=%d: ranges cover %d vertices", n, nodes, covered)
+	}
+
+	for v := 0; v < n; v++ {
+		o := p.Owner(v)
+		if o < 0 || o >= nodes {
+			t.Fatalf("n=%d nodes=%d: Owner(%d)=%d out of range", n, nodes, v, o)
+		}
+		lo, hi := p.Range(o)
+		if v < lo || v >= hi {
+			t.Fatalf("n=%d nodes=%d: vertex %d not inside its owner's range [%d,%d)", n, nodes, v, lo, hi)
+		}
+		lv := p.Local(v)
+		if lv < 0 || lv >= p.MaxLocal() {
+			t.Fatalf("n=%d nodes=%d: Local(%d)=%d outside [0,%d)", n, nodes, v, lv, p.MaxLocal())
+		}
+		if g := p.Global(o, lv); g != v {
+			t.Fatalf("n=%d nodes=%d: Global(Owner(%d), Local(%d)) = %d", n, nodes, v, v, g)
+		}
+	}
+}
+
+// edgeTestGraphs are the degree profiles the edge partition must stay
+// sound on: uniform, skewed power-law, a star (one vertex carries half
+// the arcs), tiny, single-vertex and empty.
+func edgeTestGraphs() map[string]*Graph {
+	star := NewBuilder(257)
+	for i := 1; i < 257; i++ {
+		star.AddEdge(0, int32(i))
+	}
+	path := NewBuilder(64)
+	for i := 0; i+1 < 64; i++ {
+		path.AddEdge(int32(i), int32(i+1))
+	}
+	return map[string]*Graph{
+		"kron":      Kronecker(9, 8, 5),
+		"ba":        BarabasiAlbert(2000, 4, 99),
+		"star":      star.Build(),
+		"path":      path.Build(),
+		"tiny":      path.Build(),
+		"singleton": NewBuilder(1).Build(),
+		"empty":     NewBuilder(0).Build(),
+	}
+}
+
+func TestEdgePartitionInvariantsSweep(t *testing.T) {
+	for name, g := range edgeTestGraphs() {
+		for _, nodes := range []int{1, 2, 3, 4, 7, 8, 64, 100} {
+			p := NewEdgePartition(g, nodes)
+			checkPartitionerInvariants(t, p, g.N, nodes)
+			// Per-node arc loads must sum to the graph total regardless of
+			// where the boundaries fall.
+			var total int64
+			for node := 0; node < nodes; node++ {
+				total += p.ArcLoad(g, node)
+			}
+			if total != g.NumEdges() {
+				t.Fatalf("%s nodes=%d: arc loads sum to %d, want %d", name, nodes, total, g.NumEdges())
+			}
+		}
+	}
+}
+
+// TestEdgePartitionBalance pins the balance guarantee: since boundaries
+// are placed by prefix-sum target, a node's load overshoots the ideal
+// total/nodes by at most one vertex's weight (its boundary vertex is
+// indivisible).
+func TestEdgePartitionBalance(t *testing.T) {
+	for name, g := range edgeTestGraphs() {
+		if g.N == 0 {
+			continue
+		}
+		maxVertex := int64(g.MaxDegree() + 1)
+		total := g.NumEdges() + int64(g.N)
+		for _, nodes := range []int{2, 3, 8, 17} {
+			p := NewEdgePartition(g, nodes)
+			for node := 0; node < nodes; node++ {
+				lo, hi := p.Range(node)
+				load := p.ArcLoad(g, node) + int64(hi-lo)
+				if ideal := total / int64(nodes); load > ideal+maxVertex {
+					t.Fatalf("%s nodes=%d node=%d: load %d exceeds ideal %d + max vertex %d",
+						name, nodes, node, load, ideal, maxVertex)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgePartitionBeatsBlockOnSkew quantifies the point of the scheme:
+// on a power-law graph whose hubs are the low vertex ids (preferential
+// attachment), the block distribution concentrates arcs on node 0 while
+// the edge-balanced boundaries spread them.
+func TestEdgePartitionBeatsBlockOnSkew(t *testing.T) {
+	g := BarabasiAlbert(4000, 4, 7)
+	for _, nodes := range []int{4, 8} {
+		block := NewPartition(g.N, nodes)
+		edge := NewEdgePartition(g, nodes)
+		maxLoad := func(p Partitioner) int64 {
+			var worst int64
+			for node := 0; node < nodes; node++ {
+				lo, hi := p.Range(node)
+				if load := g.Offsets[hi] - g.Offsets[lo]; load > worst {
+					worst = load
+				}
+			}
+			return worst
+		}
+		b, e := maxLoad(block), maxLoad(edge)
+		if e > b {
+			t.Fatalf("nodes=%d: edge partition max load %d worse than block %d", nodes, e, b)
+		}
+		// The hub block must be measurably imbalanced for this graph to be
+		// a meaningful fixture at all, and the edge boundaries must land
+		// near the ideal even where block does not.
+		ideal := g.NumEdges() / int64(nodes)
+		if b <= ideal*3/2 {
+			t.Fatalf("nodes=%d: fixture not skewed enough (block max %d vs ideal %d)", nodes, b, ideal)
+		}
+		if e > ideal*3/2 {
+			t.Fatalf("nodes=%d: edge max load %d not near ideal %d (block: %d)", nodes, e, ideal, b)
+		}
+	}
+}
+
+// TestEdgePartitionStarIsolatesHub pins the star layout: the hub's weight
+// exceeds every balance target, so it must sit alone on node 0 with the
+// leaves spread over the remaining nodes.
+func TestEdgePartitionStarIsolatesHub(t *testing.T) {
+	b := NewBuilder(1025)
+	for i := 1; i < 1025; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	g := b.Build()
+	p := NewEdgePartition(g, 4)
+	if lo, hi := p.Range(0); lo != 0 || hi != 1 {
+		t.Fatalf("hub node range [%d,%d), want [0,1)", lo, hi)
+	}
+	if p.Owner(0) != 0 || p.Owner(1) == 0 {
+		t.Fatalf("hub/leaf ownership wrong: Owner(0)=%d Owner(1)=%d", p.Owner(0), p.Owner(1))
+	}
+}

@@ -7,7 +7,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Graph is an adjacency structure in CSR form. For undirected graphs each
@@ -166,11 +166,11 @@ func (b *Builder) Build() *Graph {
 		}
 	}
 	if b.dedup {
-		sort.Slice(arcs, func(i, j int) bool {
-			if arcs[i].u != arcs[j].u {
-				return arcs[i].u < arcs[j].u
+		slices.SortFunc(arcs, func(a, b arc) int {
+			if a.u != b.u {
+				return int(a.u) - int(b.u)
 			}
-			return arcs[i].v < arcs[j].v
+			return int(a.v) - int(b.v)
 		})
 		uniq := arcs[:0]
 		for i, a := range arcs {

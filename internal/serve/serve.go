@@ -19,6 +19,7 @@
 //	GET    /query/mst[?wseed=S&full=1]                  AAM Borůvka spanning forest
 //	GET    /query/coloring[?shards=N&seed=S&full=1]     AAM greedy coloring
 //	GET    /stats                                       lifetime counters
+//	GET    /debug/pprof/...                             profiling (Config.EnablePprof)
 //
 // The dynamic graph is unweighted; SSSP and MST synthesize deterministic
 // symmetric edge weights from ?wseed= (default 1) via graph.SymmetricWeight,
@@ -31,14 +32,17 @@
 // sharded executor (internal/shard) over the frozen snapshot instead of a
 // single AAM runtime: one shard per vertex block on real goroutines,
 // cross-shard operators coalesced into batches of C units. ?mech= then
-// selects the per-shard isolation mechanism. Results are identical to the
-// single-runtime path; responses gain shard/messaging counters.
+// selects the per-shard isolation mechanism and ?part={block,edge} the
+// vertex distribution (block vertex counts vs edge-balanced boundaries).
+// Results are identical to the single-runtime path; responses gain
+// shard/messaging counters.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strconv"
@@ -73,6 +77,12 @@ type Config struct {
 	MaxConcurrent int
 	// Seed fixes machine randomness (default 1).
 	Seed int64
+	// EnablePprof registers the net/http/pprof handlers under
+	// /debug/pprof/ (off by default: the profiling surface is opt-in via
+	// aam-serve's -pprof flag). Profile handlers bypass the worker pool —
+	// they must respond even when every pool slot is busy, which is
+	// exactly when a profile is wanted.
+	EnablePprof bool
 }
 
 func (c Config) resolve() (Config, exec.MachineProfile, error) {
@@ -146,6 +156,13 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/query/mst", s.pooled(s.handleMST))
 	s.mux.HandleFunc("/query/coloring", s.pooled(s.handleColoring))
 	s.mux.HandleFunc("/stats", s.pooled(s.handleStats))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -202,13 +219,16 @@ func (s *Server) txConfig(r *http.Request) (dyn.TxConfig, error) {
 	}, nil
 }
 
-// shardCfg derives a sharded-executor config from ?shards= (and ?mech=).
-// shards == 0 means the single-runtime path. The upper bound mirrors the
-// executor's own sanity cap (64 shards per processor), so every value the
-// endpoint accepts is one the executor will run.
+// shardCfg derives a sharded-executor config from ?shards= (and ?mech=,
+// ?part=). shards == 0 means the single-runtime path. The upper bound
+// mirrors the executor's own sanity cap (64 shards per processor), so
+// every value the endpoint accepts is one the executor will run.
 func (s *Server) shardCfg(r *http.Request) (shard.Config, int, error) {
 	v := r.URL.Query().Get("shards")
 	if v == "" {
+		if p := r.URL.Query().Get("part"); p != "" {
+			return shard.Config{}, 0, fmt.Errorf("part only applies to the sharded path (add ?shards=N)")
+		}
 		return shard.Config{}, 0, nil
 	}
 	maxShards := 64 * runtime.GOMAXPROCS(0)
@@ -223,14 +243,28 @@ func (s *Server) shardCfg(r *http.Request) (shard.Config, int, error) {
 			return shard.Config{}, 0, fmt.Errorf("unknown mechanism %q", name)
 		}
 	}
-	return shard.Config{Shards: n, BatchSize: s.cfg.C, Mechanism: mech}, n, nil
+	part := shard.PartBlock
+	if name := r.URL.Query().Get("part"); name != "" {
+		var ok bool
+		if part, ok = shard.PartByName(name); !ok {
+			return shard.Config{}, 0, fmt.Errorf("unknown partition %q (want block or edge)", name)
+		}
+		// shards=1 takes the single-runtime path below, where the
+		// partition choice would be silently dropped — reject it like the
+		// missing-?shards= case above.
+		if n <= 1 {
+			return shard.Config{}, 0, fmt.Errorf("part only applies to the sharded path (want shards >= 2)")
+		}
+	}
+	return shard.Config{Shards: n, BatchSize: s.cfg.C, Mechanism: mech, Part: part}, n, nil
 }
 
 // shardSummary renders the messaging counters of a sharded run.
-func shardSummary(n int, res shard.Result) map[string]any {
+func shardSummary(cfg shard.Config, res shard.Result) map[string]any {
 	tot := res.Totals()
 	return map[string]any{
-		"shards":         n,
+		"shards":         cfg.Shards,
+		"part":           cfg.Part.String(),
 		"epochs":         res.Epochs,
 		"local_ops":      tot.LocalOps,
 		"remote_units":   tot.RemoteUnitsSent,
@@ -426,7 +460,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 			"n":            f.N,
 			"reached":      reached,
 			"levels":       res.Levels,
-			"sharded":      shardSummary(shards, res.Result),
+			"sharded":      shardSummary(scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		}
 		if r.URL.Query().Get("full") == "1" {
@@ -492,7 +526,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 			"n":            snap.N(),
 			"epoch":        snap.Epoch(),
 			"rounds":       res.Rounds,
-			"sharded":      shardSummary(shards, res.Result),
+			"sharded":      shardSummary(scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		}
 		if r.URL.Query().Get("full") == "1" {
@@ -575,7 +609,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 			"damping":      damping,
 			"epoch":        snap.Epoch(),
 			"top":          topRanked(res.Ranks, top),
-			"sharded":      shardSummary(shards, res.Result),
+			"sharded":      shardSummary(scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		})
 		return
@@ -703,7 +737,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		dists = res.Dists
 		out["buckets"] = res.Buckets
 		out["delta"] = res.Delta
-		out["sharded"] = shardSummary(shards, res.Result)
+		out["sharded"] = shardSummary(scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
 	} else {
 		a := algo.NewSSSP(wg, 1)
@@ -771,7 +805,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		out["weight"] = res.Weight
 		out["edges"] = res.Edges
 		out["rounds"] = res.Rounds
-		out["sharded"] = shardSummary(shards, res.Result)
+		out["sharded"] = shardSummary(scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
 	} else {
 		b := algo.NewBoruvka(wg)
@@ -838,7 +872,7 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 		out["colors"] = res.Used
 		out["rounds"] = res.Rounds
 		out["seed"] = seed
-		out["sharded"] = shardSummary(shards, res.Result)
+		out["sharded"] = shardSummary(scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
 	} else {
 		if f.N == 0 {

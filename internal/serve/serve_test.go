@@ -453,3 +453,69 @@ func TestQueryValidationRegressions(t *testing.T) {
 	doJSON(t, "DELETE", ts.URL+"/query/mst", nil, 405)
 	doJSON(t, "POST", ts.URL+"/query/coloring", nil, 405)
 }
+
+// TestPartitionParam exercises ?part= routing: both schemes answer
+// identically on every sharded endpoint, the summary echoes the scheme,
+// and misuse is a 400.
+func TestPartitionParam(t *testing.T) {
+	base := graph.Community(200, 10, 4, 0.05, 9)
+	ts, _ := newTestServer(t, base, Config{C: 8})
+
+	block := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1&shards=4&part=block", nil, 200)
+	edge := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1&shards=4&part=edge", nil, 200)
+	if block["reached"] != edge["reached"] || block["levels"] != edge["levels"] {
+		t.Fatalf("bfs diverges across partitions: block %v/%v edge %v/%v",
+			block["reached"], block["levels"], edge["reached"], edge["levels"])
+	}
+	sum := edge["sharded"].(map[string]any)
+	if sum["part"] != "edge" {
+		t.Fatalf("summary part = %v, want edge", sum["part"])
+	}
+	if sum = block["sharded"].(map[string]any); sum["part"] != "block" {
+		t.Fatalf("summary part = %v, want block", sum["part"])
+	}
+
+	ccBlock := doJSON(t, "GET", ts.URL+"/query/cc?shards=3&full=1", nil, 200)
+	ccEdge := doJSON(t, "GET", ts.URL+"/query/cc?shards=3&full=1&part=edge", nil, 200)
+	if !reflect.DeepEqual(ccBlock["labels"], ccEdge["labels"]) {
+		t.Fatal("cc labels diverge across partitions")
+	}
+
+	ssspBlock := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1&shards=4", nil, 200)
+	ssspEdge := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1&shards=4&part=edge", nil, 200)
+	if !reflect.DeepEqual(ssspBlock["dists"], ssspEdge["dists"]) {
+		t.Fatal("sssp distances diverge across partitions")
+	}
+
+	// ?part= composes with ?mech=; bad values and partition without
+	// sharding are rejected.
+	doJSON(t, "GET", ts.URL+"/query/pagerank?iters=2&shards=2&part=edge&mech=lock", nil, 200)
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&shards=2&part=metis", nil, 400)
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&part=edge", nil, 400)
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&shards=1&part=edge", nil, 400)
+}
+
+// TestPprofGate pins the -pprof surface: absent by default, served when
+// Config.EnablePprof is set.
+func TestPprofGate(t *testing.T) {
+	off, _ := newTestServer(t, nil, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+
+	on, _ := newTestServer(t, nil, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index: status %d body %q", resp.StatusCode, body[:min(len(body), 80)])
+	}
+}

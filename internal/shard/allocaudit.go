@@ -1,0 +1,36 @@
+package shard
+
+import "aamgo/internal/graph"
+
+// MessagePathCycle builds the canonical allocation-audit harness for the
+// coalescing message path, shared by the shard test suite and the
+// `sharded` bench scenario's exact-gated `executor.steady_allocs` metric.
+// cycle drives 384 cross-shard operator units through spawn → coalesce →
+// size-triggered flush → inbox pop → apply on the calling goroutine;
+// bufferAllocs reports the executor's recycle-pool misses so far. Run
+// cycle a few times to warm the pool, then measure allocations per run —
+// the steady state is zero.
+func MessagePathCycle() (cycle func(), bufferAllocs func() uint64) {
+	g := graph.NewBuilder(256).Build()
+	ex, err := New(g, 1, Config{Shards: 4, BatchSize: 32})
+	if err != nil {
+		panic(err) // static config over a static graph cannot fail
+	}
+	inc := ex.Register(&Op{
+		Name:   "inc",
+		Addr:   func(lv int, arg uint64) int { return lv },
+		Mutate: func(c, arg uint64) (uint64, bool) { return c + arg, true },
+	})
+	sender := ex.shards[0].workers[0]
+	cycle = func() {
+		for i := 0; i < 384; i++ {
+			sender.Spawn(inc, 64+i%192, 1) // shards 1..3: all cross-shard
+		}
+		sender.FlushAll()
+		for _, s := range ex.shards[1:] {
+			s.drainInbox(s.workers[0])
+		}
+	}
+	bufferAllocs = func() uint64 { return ex.Result().Totals().BufferAllocs }
+	return cycle, bufferAllocs
+}

@@ -2,9 +2,21 @@ package shard
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aamgo/internal/graph"
+)
+
+// Direction-optimizing switch thresholds (Beamer et al., SC'12): switch to
+// pull when the frontier's outgoing arcs exceed 1/dobAlpha of the arcs
+// still unexplored, and back to push when the frontier shrinks below
+// 1/dobBeta of the vertex set. Both inputs are pure functions of the level
+// sets, so the per-level direction choice — and with it every message
+// count — is deterministic for a fixed graph and source.
+const (
+	dobAlpha = 14
+	dobBeta  = 24
 )
 
 // BFSResult carries the sharded BFS tree: Parents[v] is the global parent
@@ -13,6 +25,10 @@ type BFSResult struct {
 	Parents []int64
 	// Levels is the BFS depth reached (number of frontier expansions).
 	Levels int
+	// PushLevels and PullLevels count frontier expansions by traversal
+	// direction (they sum to Levels+1: the final expansion discovers
+	// nothing and ends the search).
+	PushLevels, PullLevels int
 	Result
 }
 
@@ -22,6 +38,17 @@ type BFSResult struct {
 // Cross-shard discoveries travel as coalesced mark batches; the Drain
 // barrier between levels guarantees the depth labeling is identical to the
 // sequential BFS regardless of shard count, batch size or flush policy.
+//
+// The traversal is direction-optimizing (cfg.Dir, default DirAuto): when
+// the frontier grows edge-heavy, levels run bottom-up ("pull") — every
+// worker scans its own unvisited vertices against a read-only bitmap of
+// the current frontier, reading the CSR directly and writing only
+// owner-local state, so a pull level spawns no messages at all. Because
+// the bitmap is fixed for the whole level, a pull level discovers exactly
+// the vertices adjacent to the current frontier and attaches each to a
+// previous-level parent — the same level sets as push, hence the same
+// depth labeling. Directed graphs always push (the CSR carries no reverse
+// adjacency).
 func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 	if src < 0 || src >= g.N {
 		return BFSResult{}, fmt.Errorf("shard: BFS source %d out of range [0,%d)", src, g.N)
@@ -30,11 +57,13 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 	if err != nil {
 		return BFSResult{}, err
 	}
+	cfg = ex.Config()
 
 	// Per-worker frontier segments: cur is consumed, next receives
-	// discoveries from the mark operator's commit hook. Entries are
-	// owner-local vertex ids; a worker only ever appends to its own
-	// segment, so no isolation is needed.
+	// discoveries (from the mark operator's commit hook on push levels,
+	// from the bottom-up scan on pull levels). Entries are owner-local
+	// vertex ids; a worker only ever appends to its own segment, so no
+	// isolation is needed.
 	W := ex.Workers()
 	cur := make([][]int32, W)
 	next := make([][]int32, W)
@@ -54,42 +83,119 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 		},
 	})
 
+	// Frontier bitmap for pull levels, allocated on first use. It is
+	// rebuilt per pull level: the coordinator zeroes it between Parallel
+	// phases, workers then set their cur bits with atomic ORs (adjacent
+	// vertex ranges share boundary words).
+	var bits []uint64
+
 	t0 := time.Now()
 	// Seed the source into its owner shard.
 	owner := ex.Part.Owner(src)
 	ls := ex.Part.Local(src)
 	ex.shards[owner].Store(ls, uint64(src)+1)
-	seedWorker := owner * ex.cfg.Workers // worker 0 of the owner shard
+	seedWorker := owner * cfg.Workers // worker 0 of the owner shard
 	cur[seedWorker] = append(cur[seedWorker], int32(ls))
 
-	levels := 0
+	// Direction-switch state: nf/mf are the current frontier's vertex and
+	// outgoing-arc counts, explored accumulates the arcs of frontiers
+	// already expanded (so totalArcs-explored approximates the unexplored
+	// remainder the pull heuristic compares against).
+	totalArcs := g.NumEdges()
+	nf, mf := 1, int64(g.Degree(src))
+	var explored int64
+	pull := false
+
+	levels, pushLevels, pullLevels := 0, 0, 0
 	for {
-		ex.Parallel(func(w *Worker) {
-			s := w.S
-			i := w.Index()
-			for _, lv := range cur[i] {
-				u := ex.Part.Global(s.ID, int(lv))
-				for _, wv := range g.Neighbors(u) {
-					gw := int(wv)
-					// The §4.2 visited check: a plain local read skips
-					// spawning for vertices this shard already marked.
-					// Stale reads are benign — the operator re-tests.
-					if ex.Part.Owner(gw) == s.ID && s.Load(ex.Part.Local(gw)) != 0 {
+		switch cfg.Dir {
+		case DirPush:
+			pull = false
+		case DirPull:
+			pull = !g.Directed
+		default:
+			if g.Directed {
+				pull = false
+			} else if !pull {
+				pull = mf > (totalArcs-explored)/dobAlpha
+			} else {
+				pull = nf >= g.N/dobBeta
+			}
+		}
+
+		if pull {
+			pullLevels++
+			if bits == nil {
+				bits = make([]uint64, (g.N+63)/64)
+			} else {
+				clear(bits)
+			}
+			ex.Parallel(func(w *Worker) {
+				s := w.S
+				for _, lv := range cur[w.Index()] {
+					u := s.Lo + int(lv)
+					atomic.OrUint64(&bits[u>>6], 1<<(uint(u)&63))
+				}
+			})
+			ex.Parallel(func(w *Worker) {
+				s := w.S
+				i := w.Index()
+				lo, hi := w.Range()
+				for v := lo; v < hi; v++ {
+					lv := v - s.Lo // ranges are contiguous: O(1) local index
+					if s.Load(lv) != 0 {
 						continue
 					}
-					w.Spawn(mark, gw, uint64(u))
+					for _, uv := range g.Neighbors(v) {
+						u := uint(uv)
+						if bits[u>>6]&(1<<(u&63)) == 0 {
+							continue
+						}
+						// Claim v for parent u: only this worker writes v
+						// (worker vertex ranges partition the shard), so a
+						// plain atomic store suffices — no operator, no
+						// message. Counted as a local operator application.
+						s.Store(lv, uint64(u)+1)
+						next[i] = append(next[i], int32(lv))
+						w.stats.LocalOps++
+						break
+					}
 				}
-			}
-		})
+			})
+		} else {
+			pushLevels++
+			ex.Parallel(func(w *Worker) {
+				s := w.S
+				i := w.Index()
+				for _, lv := range cur[i] {
+					u := s.Lo + int(lv)
+					for _, wv := range g.Neighbors(u) {
+						gw := int(wv)
+						// The §4.2 visited check: a plain local read skips
+						// spawning for vertices this shard already marked.
+						// Stale reads are benign — the operator re-tests.
+						if gw >= s.Lo && gw < s.Hi && s.Load(gw-s.Lo) != 0 {
+							continue
+						}
+						w.Spawn(mark, gw, uint64(u))
+					}
+				}
+			})
+		}
 		ex.Drain()
 
-		total := 0
+		explored += mf
+		nf, mf = 0, 0
 		for i := range cur {
 			cur[i] = cur[i][:0]
-			total += len(next[i])
+			nf += len(next[i])
+			base := ex.shards[i/cfg.Workers].Lo
+			for _, lv := range next[i] {
+				mf += int64(g.Degree(base + int(lv)))
+			}
 		}
 		cur, next = next, cur
-		if total == 0 {
+		if nf == 0 {
 			break
 		}
 		levels++
@@ -103,5 +209,9 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 	}
 	res := ex.Result()
 	res.Elapsed = elapsed
-	return BFSResult{Parents: parents, Levels: levels, Result: res}, nil
+	return BFSResult{
+		Parents: parents, Levels: levels,
+		PushLevels: pushLevels, PullLevels: pullLevels,
+		Result: res,
+	}, nil
 }

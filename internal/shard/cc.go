@@ -54,7 +54,7 @@ func Components(g *graph.Graph, cfg Config) (CCResult, error) {
 	ex.Parallel(func(w *Worker) {
 		lo, hi := w.Range()
 		for v := lo; v < hi; v++ {
-			w.S.Store(ex.Part.Local(v), uint64(v)+1)
+			w.S.Store(v-w.S.Lo, uint64(v)+1) // contiguous range: O(1) local index
 		}
 	})
 
@@ -66,7 +66,7 @@ func Components(g *graph.Graph, cfg Config) (CCResult, error) {
 		ex.Parallel(func(w *Worker) {
 			lo, hi := w.Range()
 			for v := lo; v < hi; v++ {
-				label := w.S.Load(ex.Part.Local(v)) - 1
+				label := w.S.Load(v-w.S.Lo) - 1
 				for _, nv := range g.Neighbors(v) {
 					w.Spawn(min, int(nv), label)
 				}

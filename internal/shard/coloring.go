@@ -127,9 +127,10 @@ func Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringResult, error) {
 					pending++
 				}
 			}
-			w.S.Store(L+ex.Part.Local(v), pending)
+			lv := v - w.S.Lo // contiguous range: O(1) local index
+			w.S.Store(L+lv, pending)
 			if pending == 0 {
-				cur[i] = append(cur[i], int32(ex.Part.Local(v)))
+				cur[i] = append(cur[i], int32(lv))
 			}
 		}
 	})
@@ -148,7 +149,7 @@ func Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringResult, error) {
 			i := w.Index()
 			s := w.S
 			for _, lv := range cur[i] {
-				v := ex.Part.Global(s.ID, int(lv))
+				v := s.Lo + int(lv)
 				// All higher-priority neighbors are colored and quiescent
 				// (the frontier is independent in the priority order), so
 				// cross-shard color reads are stable.
@@ -158,7 +159,8 @@ func Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringResult, error) {
 					if int(nv) == v || !higher(int(nv), v) {
 						continue
 					}
-					c := ex.shards[ex.Part.Owner(int(nv))].Load(ex.Part.Local(int(nv)))
+					sh := ex.shards[ex.Part.Owner(int(nv))]
+					c := sh.Load(int(nv) - sh.Lo)
 					if c > 0 && int(c-1) < len(used[i]) {
 						used[i][c-1] = stamp
 					}

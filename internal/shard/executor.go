@@ -40,15 +40,48 @@ type inbox struct {
 	batches [][]message
 }
 
+// msgPool is the executor-wide recycle list for coalescing buffers.
+// Buffers circulate sender → inbox → applying worker → pool → sender, so
+// once enough are in flight the message path stops allocating. Workers
+// keep a small lock-free local cache in front of it (Worker.cache); the
+// shared list only absorbs imbalance between senders and receivers.
+type msgPool struct {
+	mu   sync.Mutex
+	free [][]message
+}
+
+func (p *msgPool) get() []message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (p *msgPool) put(b []message) {
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}
+
+// workerBufCache bounds each worker's local free-list; overflow spills to
+// the shared pool.
+const workerBufCache = 8
+
 // Executor runs operators over a sharded graph.
 type Executor struct {
 	G    *graph.Graph
-	Part graph.Partition
+	Part graph.Partitioner
 	cfg  Config
 
 	ops    []*Op
 	shards []*Shard
 	epochs int
+	pool   msgPool
 }
 
 // Shard owns one contiguous vertex block and its state words.
@@ -85,6 +118,7 @@ type Worker struct {
 	ID int // worker index within the shard
 
 	out   [][]message // per-destination coalescing buffers
+	cache [][]message // local buffer free-list (recycle fast path)
 	stats Stats
 }
 
@@ -97,10 +131,12 @@ func New(g *graph.Graph, words int, cfg Config) (*Executor, error) {
 	if words < 1 {
 		words = 1
 	}
-	ex := &Executor{
-		G:    g,
-		Part: graph.NewPartition(g.N, cfg.Shards),
-		cfg:  cfg,
+	ex := &Executor{G: g, cfg: cfg}
+	switch cfg.Part {
+	case PartEdge:
+		ex.Part = graph.NewEdgePartition(g, cfg.Shards)
+	default:
+		ex.Part = graph.NewPartition(g.N, cfg.Shards)
 	}
 	L := ex.Part.MaxLocal()
 	for id := 0; id < cfg.Shards; id++ {
@@ -123,9 +159,10 @@ func New(g *graph.Graph, words int, cfg Config) (*Executor, error) {
 		}
 		for wid := 0; wid < cfg.Workers; wid++ {
 			s.workers = append(s.workers, &Worker{
-				S:   s,
-				ID:  wid,
-				out: make([][]message, cfg.Shards),
+				S:     s,
+				ID:    wid,
+				out:   make([][]message, cfg.Shards),
+				cache: make([][]message, 0, workerBufCache),
 			})
 		}
 		ex.shards = append(ex.shards, s)
@@ -223,19 +260,25 @@ func (w *Worker) Range() (lo, hi int) {
 // reports whether the operator committed; cross-shard spawns always report
 // true (Fire-and-Forget: the outcome materializes at the owner during
 // Drain and is visible only in the owner's counters).
+//
+// Ownership resolves once: the local case is a range check against this
+// shard's own [Lo, Hi), and the remote local index is gv minus the owner
+// range's start (Partitioner guarantees contiguous ranges) — no second
+// Owner lookup, which matters under the binary-searched edge partition.
 func (w *Worker) Spawn(op int, gv int, arg uint64) bool {
-	ex := w.S.ex
-	dst := ex.Part.Owner(gv)
-	lv := ex.Part.Local(gv)
-	if dst == w.S.ID {
+	s := w.S
+	if gv >= s.Lo && gv < s.Hi {
 		w.stats.LocalOps++
-		ok := w.S.apply(w, op, lv, arg)
+		ok := s.apply(w, op, gv-s.Lo, arg)
 		if !ok {
 			w.stats.LocalFailed++
 		}
 		return ok
 	}
-	w.out[dst] = append(w.out[dst], message{op: uint16(op), lv: int32(lv), arg: arg})
+	ex := s.ex
+	dst := ex.Part.Owner(gv)
+	lo, _ := ex.Part.Range(dst)
+	w.out[dst] = append(w.out[dst], message{op: uint16(op), lv: int32(gv - lo), arg: arg})
 	switch ex.cfg.Flush {
 	case FlushEager:
 		w.flush(dst)
@@ -251,22 +294,53 @@ func (w *Worker) Spawn(op int, gv int, arg uint64) bool {
 func (w *Worker) Pending(dst int) int { return len(w.out[dst]) }
 
 // flush hands dst's buffered units to the owner shard as one batch. The
-// buffer itself is handed off (no copy); the next spawn starts a fresh
-// one sized to what this destination just needed, which tracks the
-// effective batch size under every flush policy (BatchSize for size-
-// triggered flushes, the full epoch volume under FlushByEpoch).
+// buffer itself is handed off (no copy); the replacement comes from the
+// recycle pool — the applying worker returns every consumed batch there —
+// so the steady-state flush path performs zero allocations. Recycled
+// buffers keep the capacity of whatever traffic they last carried, which
+// tracks the effective batch size under every flush policy (BatchSize for
+// size-triggered flushes, the full epoch volume under FlushByEpoch).
 func (w *Worker) flush(dst int) {
 	batch := w.out[dst]
 	if len(batch) == 0 {
 		return
 	}
-	w.out[dst] = make([]message, 0, len(batch))
+	w.out[dst] = w.getBuf(len(batch))
 	t := w.S.ex.shards[dst]
 	t.inbox.mu.Lock()
 	t.inbox.batches = append(t.inbox.batches, batch)
 	t.inbox.mu.Unlock()
 	w.stats.RemoteBatchesSent++
 	w.stats.RemoteUnitsSent += uint64(len(batch))
+}
+
+// getBuf returns an empty message buffer: the worker's local cache first,
+// then the shared pool, then — counted as a BufferAllocs pool miss — a
+// fresh allocation sized to the batch just flushed.
+func (w *Worker) getBuf(hint int) []message {
+	if n := len(w.cache); n > 0 {
+		b := w.cache[n-1]
+		w.cache[n-1] = nil
+		w.cache = w.cache[:n-1]
+		return b[:0]
+	}
+	if b := w.S.ex.pool.get(); b != nil {
+		return b[:0]
+	}
+	w.stats.BufferAllocs++
+	return make([]message, 0, hint)
+}
+
+// putBuf recycles a consumed batch buffer.
+func (w *Worker) putBuf(b []message) {
+	if cap(b) == 0 {
+		return
+	}
+	if len(w.cache) < workerBufCache {
+		w.cache = append(w.cache, b[:0])
+		return
+	}
+	w.S.ex.pool.put(b[:0])
 }
 
 // FlushAll flushes every destination's buffer.
@@ -288,6 +362,7 @@ func (s *Shard) drainInbox(w *Worker) {
 			return
 		}
 		batch := s.inbox.batches[n-1]
+		s.inbox.batches[n-1] = nil
 		s.inbox.batches = s.inbox.batches[:n-1]
 		s.inbox.mu.Unlock()
 		w.stats.RemoteBatchesRecv++
@@ -297,6 +372,7 @@ func (s *Shard) drainInbox(w *Worker) {
 				w.stats.RemoteFailed++
 			}
 		}
+		w.putBuf(batch)
 	}
 }
 

@@ -71,15 +71,6 @@ func MST(g *graph.Graph, cfg Config) (MSTResult, error) {
 	L := ex.Part.MaxLocal()
 	W := ex.Workers()
 
-	// edgeSrc[pos] is the source vertex of arc pos (CSR inverse), shared
-	// read-only by all workers.
-	edgeSrc := make([]int32, len(g.Adj))
-	for v := 0; v < g.N; v++ {
-		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
-			edgeSrc[i] = int32(v)
-		}
-	}
-
 	// comp reads vertex v's component pointer (cross-shard safe: the
 	// phases below only read it while it is quiescent).
 	comp := func(v int) int {

@@ -57,7 +57,7 @@ func PageRank(g *graph.Graph, damping float64, iterations int, cfg Config) (PRRe
 	ex.Parallel(func(w *Worker) {
 		lo, hi := w.Range()
 		for v := lo; v < hi; v++ {
-			w.S.Store(ex.Part.Local(v), init)
+			w.S.Store(v-w.S.Lo, init) // contiguous range: O(1) local index
 		}
 	})
 
@@ -67,7 +67,7 @@ func PageRank(g *graph.Graph, damping float64, iterations int, cfg Config) (PRRe
 		ex.Parallel(func(w *Worker) {
 			lo, hi := w.Range()
 			for v := lo; v < hi; v++ {
-				w.S.Store(next*L+ex.Part.Local(v), base)
+				w.S.Store(next*L+(v-w.S.Lo), base)
 			}
 		})
 		ex.Parallel(func(w *Worker) {
@@ -77,7 +77,7 @@ func PageRank(g *graph.Graph, damping float64, iterations int, cfg Config) (PRRe
 				if deg == 0 {
 					continue
 				}
-				rank := w.S.Load(curBase + ex.Part.Local(v))
+				rank := w.S.Load(curBase + (v - w.S.Lo))
 				share := uint64(float64(rank) * damping / float64(deg))
 				if share == 0 {
 					continue

@@ -65,6 +65,82 @@ func PolicyByName(name string) (FlushPolicy, bool) {
 	return 0, false
 }
 
+// PartScheme selects how the vertex set is split into shard-owned ranges.
+type PartScheme int
+
+const (
+	// PartBlock is the paper's 1-D block distribution (§3.1): equal
+	// vertex counts per shard. The default.
+	PartBlock PartScheme = iota
+	// PartEdge balances outgoing-arc counts instead of vertex counts
+	// (prefix-sum boundaries over the degree array, binary-search Owner) —
+	// the skew-resistant choice for power-law graphs, where one block can
+	// otherwise concentrate most of the work on a single shard.
+	PartEdge
+)
+
+// String names the scheme.
+func (p PartScheme) String() string {
+	switch p {
+	case PartBlock:
+		return "block"
+	case PartEdge:
+		return "edge"
+	default:
+		return "part(?)"
+	}
+}
+
+// PartByName resolves the wire names of the partition schemes.
+func PartByName(name string) (PartScheme, bool) {
+	for _, p := range []PartScheme{PartBlock, PartEdge} {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Direction selects the BFS traversal strategy.
+type Direction int
+
+const (
+	// DirAuto switches between push and pull per level on the
+	// frontier-edge heuristic (direction-optimizing BFS). The default.
+	DirAuto Direction = iota
+	// DirPush always expands the frontier top-down through mark operators
+	// (the classic AAM formulation; the pre-optimization behavior).
+	DirPush
+	// DirPull always scans unvisited vertices bottom-up against the
+	// frontier bitmap. Valid on undirected graphs only; directed graphs
+	// fall back to push (the CSR has no reverse adjacency).
+	DirPull
+)
+
+// String names the direction policy.
+func (d Direction) String() string {
+	switch d {
+	case DirAuto:
+		return "auto"
+	case DirPush:
+		return "push"
+	case DirPull:
+		return "pull"
+	default:
+		return "dir(?)"
+	}
+}
+
+// DirectionByName resolves the wire names of the direction policies.
+func DirectionByName(name string) (Direction, bool) {
+	for _, d := range []Direction{DirAuto, DirPush, DirPull} {
+		if d.String() == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 // Config shapes one sharded execution.
 type Config struct {
 	// Shards is the number of graph shards (default 1). Shards may exceed
@@ -92,6 +168,14 @@ type Config struct {
 	// serialized fallback path (default 8, mirroring the simulator's
 	// Haswell retry policy).
 	HTMRetries int
+	// Part selects the vertex distribution: PartBlock (default, equal
+	// vertex counts) or PartEdge (equal outgoing-arc counts — the
+	// skew-resistant boundaries). Results are identical under both; only
+	// the shard load balance and the cross-shard traffic pattern change.
+	Part PartScheme
+	// Dir selects the BFS traversal strategy (DirAuto, DirPush, DirPull);
+	// ignored by the other algorithms.
+	Dir Direction
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +243,11 @@ type Stats struct {
 	Retries    uint64
 	Serialized uint64
 	Combined   uint64
+
+	// BufferAllocs counts fresh coalescing-buffer allocations (recycle-pool
+	// misses). Buffers circulate sender→inbox→pool, so after warm-up the
+	// message path allocates nothing and this counter stops moving.
+	BufferAllocs uint64
 }
 
 // add accumulates o into s.
@@ -174,6 +263,7 @@ func (s *Stats) add(o Stats) {
 	s.Retries += o.Retries
 	s.Serialized += o.Serialized
 	s.Combined += o.Combined
+	s.BufferAllocs += o.BufferAllocs
 }
 
 // Ops returns the total operator applications this shard performed.
@@ -197,4 +287,14 @@ func (r Result) Totals() Stats {
 		t.add(s)
 	}
 	return t
+}
+
+// AllocsPerEpoch reports message-buffer allocations per Drain barrier —
+// the steady-state figure of merit for the coalescing path (warm-up
+// populates the recycle pool, after which this tends to zero).
+func (r Result) AllocsPerEpoch() float64 {
+	if r.Epochs == 0 {
+		return 0
+	}
+	return float64(r.Totals().BufferAllocs) / float64(r.Epochs)
 }
