@@ -41,6 +41,7 @@ import (
 	"aamgo/internal/exec"
 	"aamgo/internal/graph"
 	"aamgo/internal/run"
+	"aamgo/internal/serve"
 	"aamgo/internal/shard"
 	"aamgo/internal/stats"
 	"aamgo/internal/vtime"
@@ -594,6 +595,10 @@ type (
 	// BatchResult reports one applied batch (applied/rejected counts,
 	// epoch, abort statistics).
 	BatchResult = dyn.BatchResult
+	// FreezeStats counts snapshot-materialization work: incremental
+	// (patched-CSR) freezes vs full rebuilds, and the touched-vertex /
+	// spliced-arc totals that certify freeze cost stays O(changes).
+	FreezeStats = dyn.FreezeStats
 )
 
 // NewDynGraph wraps a static undirected graph for dynamic updates; the base
@@ -612,6 +617,25 @@ func DynRemoveEdge(u, v int32) Mutation { return dyn.RemoveEdge(u, v) }
 
 // DynAddVertex returns a mutation appending one isolated vertex.
 func DynAddVertex() Mutation { return dyn.AddVertex() }
+
+// Serving layer (internal/serve): the JSON/HTTP daemon over a DynGraph —
+// transactional mutation endpoints, snapshot-consistent analytics queries,
+// and the high-QPS read path: epoch-keyed result cache with request
+// collapsing, epoch-derived ETags (If-None-Match → 304), and incremental
+// snapshot freezes. Embed it via NewServer + (*Server).Handler, or run
+// cmd/aam-serve.
+type (
+	// Server is the HTTP front end over one DynGraph.
+	Server = serve.Server
+	// ServeConfig shapes the daemon (mechanism, worker pool, CacheBytes…).
+	ServeConfig = serve.Config
+	// CacheStats is the query-cache counter snapshot exported in /stats.
+	CacheStats = serve.CacheStats
+)
+
+// NewServer builds the HTTP daemon over g; use Server.Handler with any
+// net/http server (or httptest).
+func NewServer(g *DynGraph, cfg ServeConfig) (*Server, error) { return serve.New(g, cfg) }
 
 // Low-level re-exports for building custom operators on the AAM runtime;
 // see the examples directory for usage.

@@ -8,6 +8,7 @@
 //	aam-serve [-addr :8080] [-graph file] [-gen kron -scale 12 -ef 8]
 //	          [-mech htm|atomic|lock|occ|flatcomb] [-backend sim|native]
 //	          [-machine has-c] [-threads 4] [-workers 8] [-pprof]
+//	          [-cache on|off] [-cache-bytes 33554432]
 //
 // Examples:
 //
@@ -53,8 +54,22 @@ func main() {
 		workers = flag.Int("workers", 8, "max concurrent requests doing graph work")
 		coarsen = flag.Int("m", 16, "coarsening factor M (operators per transaction)")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		cache   = flag.String("cache", "on", "epoch-keyed query cache: on or off")
+		cacheBy = flag.Int64("cache-bytes", 32<<20, "query cache size bound in bytes")
 	)
 	flag.Parse()
+
+	cacheBytes := *cacheBy
+	switch *cache {
+	case "on":
+		if cacheBytes <= 0 {
+			log.Fatalf("aam-serve: -cache-bytes %d must be positive with -cache on", cacheBytes)
+		}
+	case "off":
+		cacheBytes = -1
+	default:
+		log.Fatalf("aam-serve: unknown -cache %q (want on or off)", *cache)
+	}
 
 	g, err := load(*in, *gen, *scale, *ef, *seed)
 	if err != nil {
@@ -71,6 +86,7 @@ func main() {
 		Threads:       *threads,
 		M:             *coarsen,
 		MaxConcurrent: *workers,
+		CacheBytes:    cacheBytes,
 		Seed:          *seed,
 		EnablePprof:   *pprofOn,
 	})

@@ -60,7 +60,7 @@ func NewBoruvka(g *graph.Graph) *Boruvka {
 
 	b.edgeSrc = make([]int32, len(g.Adj))
 	for v := 0; v < g.N; v++ {
-		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+		for i := g.Offsets[v]; i < g.End(v); i++ {
 			b.edgeSrc[i] = int32(v)
 		}
 	}

@@ -25,6 +25,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"streaming",
 		"sharded",
 		"sharded-irregular",
+		"serving",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

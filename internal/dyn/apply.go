@@ -2,6 +2,7 @@ package dyn
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"aamgo/internal/aam"
@@ -134,6 +135,10 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 
 	ns := pre.clone(newN)
 
+	// touched collects the vertices whose merged adjacency this batch
+	// changes, for the incremental-freeze journal.
+	var touched []int32
+
 	// Transactional phase for the edge mutations.
 	if len(edgeMuts) > 0 {
 		a := &applier{pre: pre, muts: edgeMuts}
@@ -172,6 +177,14 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 				}
 			}
 		}
+		for v := range cw.adds {
+			touched = append(touched, v)
+		}
+		for v := range cw.dels {
+			if !cw.adds[v] {
+				touched = append(touched, v)
+			}
+		}
 		// Incremental CC: union committed inserts (cheap even when a
 		// delete already marked the forest dirty).
 		if !g.ccDirty {
@@ -194,6 +207,15 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 			res.Compacted = true
 			g.cum.Compactions++
 		}
+	}
+
+	// Keep the incremental-freeze state in step with the published epoch:
+	// compaction re-seeds the arena from the fresh base, every other batch
+	// journals its touched vertices.
+	if res.Compacted {
+		g.mat.reset(ns)
+	} else {
+		g.mat.record(ns.epoch, touched)
 	}
 
 	g.cur.Store(ns)
@@ -221,19 +243,30 @@ func (g *Graph) Compact() {
 	ns.epoch = s.epoch + 1
 	g.cum.Compactions++
 	g.cum.Epoch = ns.epoch
+	g.mat.reset(ns)
 	g.cur.Store(ns)
 }
 
 // compact folds every delta of s into a fresh base CSR. The result denotes
-// the same logical state, so it keeps s's epoch.
+// the same logical state, so it keeps s's epoch. The new base is
+// re-canonicalized to per-vertex sorted adjacency — the invariant the
+// binary-search membership checks rely on.
 func compact(s *Snapshot) *Snapshot {
+	flat := s.materialize()
+	if flat != s.base {
+		// Fresh arrays (not shared with any published view): sort in place.
+		for v := 0; v < flat.N; v++ {
+			slices.Sort(flat.Neighbors(v))
+		}
+	}
 	return &Snapshot{
 		epoch: s.epoch,
 		n:     s.n,
-		base:  s.materialize(),
+		base:  flat,
 		adds:  make([][]int32, s.n),
 		dels:  make([][]int32, s.n),
 		arcs:  s.arcs,
+		mat:   s.mat,
 	}
 }
 

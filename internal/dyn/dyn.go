@@ -31,6 +31,7 @@ package dyn
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,10 @@ type Snapshot struct {
 	addArcs int64 // arcs carried by adds
 	delArcs int64 // base arcs suppressed by dels
 
+	// mat is the owning graph's shared materialization state (incremental
+	// freeze arena + epoch journal); nil only for zero-value snapshots.
+	mat *matState
+
 	frozen atomic.Pointer[graph.Graph]
 }
 
@@ -120,6 +125,8 @@ func (s *Snapshot) NumArcs() int64 { return s.arcs }
 // deleted); compaction triggers on this.
 func (s *Snapshot) DeltaArcs() int64 { return s.addArcs + s.delArcs }
 
+// containsArc / countArc do linear scans; they serve the short per-vertex
+// delta lists (adds/dels), which are unsorted and usually tiny.
 func containsArc(list []int32, w int32) bool {
 	for _, x := range list {
 		if x == w {
@@ -139,6 +146,27 @@ func countArc(list []int32, w int32) int64 {
 	return c
 }
 
+// sortedContainsArc / sortedCountArc answer membership against the sorted
+// base CSR adjacency by binary search — O(log d) instead of O(d), the
+// difference that matters on high-degree (power-law hub) vertices. New and
+// compact enforce the per-vertex sort invariant on every base.
+func sortedContainsArc(list []int32, w int32) bool {
+	_, ok := slices.BinarySearch(list, w)
+	return ok
+}
+
+func sortedCountArc(list []int32, w int32) int64 {
+	lo, ok := slices.BinarySearch(list, w)
+	if !ok {
+		return 0
+	}
+	hi := lo + 1
+	for hi < len(list) && list[hi] == w { // parallel copies sit adjacent
+		hi++
+	}
+	return int64(hi - lo)
+}
+
 // HasEdge reports whether the arc u→v exists in this view.
 func (s *Snapshot) HasEdge(u, v int32) bool {
 	if int(u) < 0 || int(u) >= s.n || int(v) < 0 || int(v) >= s.n {
@@ -148,7 +176,7 @@ func (s *Snapshot) HasEdge(u, v int32) bool {
 		return true
 	}
 	if int(u) < s.base.N && !containsArc(s.dels[u], v) {
-		return containsArc(s.base.Neighbors(int(u)), v)
+		return sortedContainsArc(s.base.Neighbors(int(u)), v)
 	}
 	return false
 }
@@ -159,7 +187,7 @@ func (s *Snapshot) Degree(v int) int {
 	if v < s.base.N {
 		d += int64(s.base.Degree(v))
 		for _, w := range s.dels[v] {
-			d -= countArc(s.base.Neighbors(v), w)
+			d -= sortedCountArc(s.base.Neighbors(v), w)
 		}
 	}
 	return int(d)
@@ -183,14 +211,35 @@ func (s *Snapshot) AppendNeighbors(dst []int32, v int) []int32 {
 // algorithm in internal/algo. The result is cached on the snapshot, so
 // repeated freezes of one epoch are free; when the snapshot carries no
 // deltas the base is returned directly.
+//
+// Materialization is incremental: the owning graph keeps the last frozen
+// view plus a per-epoch journal of touched vertices, and freezing a later
+// epoch splices only the delta-carrying vertices into a shared append-only
+// adjacency arena (copy-on-write segments — published views are never
+// mutated). Freeze cost after k mutations is therefore proportional to the
+// touched adjacency, not to the whole graph; periodic compaction rebuilds
+// a clean flat base and resets the arena. The frozen graph may use the
+// patched layout (graph.Graph with Ends); all iteration-based consumers
+// handle it transparently.
 func (s *Snapshot) Freeze() *graph.Graph {
 	if g := s.frozen.Load(); g != nil {
 		return g
 	}
-	g := s.materialize()
+	var g *graph.Graph
+	if s.mat != nil {
+		g = s.mat.freeze(s)
+	} else {
+		g = s.materialize()
+	}
 	s.frozen.CompareAndSwap(nil, g)
 	return s.frozen.Load()
 }
+
+// FullMaterialize rebuilds the snapshot as a flat CSR from scratch — the
+// pre-incremental freeze path, kept as the equivalence oracle and the
+// compaction builder. It bypasses the snapshot's frozen cache and the
+// incremental arena.
+func (s *Snapshot) FullMaterialize() *graph.Graph { return s.materialize() }
 
 func (s *Snapshot) materialize() *graph.Graph {
 	if s.DeltaArcs() == 0 && s.n == s.base.N {
@@ -213,6 +262,8 @@ func (s *Snapshot) materialize() *graph.Graph {
 type Graph struct {
 	mu  sync.Mutex // serializes writers and guards uf/ccDirty/cum
 	cur atomic.Pointer[Snapshot]
+
+	mat *matState // shared with every snapshot; has its own lock
 
 	uf      *unionFind
 	ccDirty bool
@@ -247,14 +298,20 @@ func New(base *graph.Graph) (*Graph, error) {
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("dyn: invalid base: %w", err)
 	}
+	// A patched-layout base (e.g. an incrementally frozen snapshot fed
+	// back in) is packed flat first: the snapshot base must be a plain
+	// CSR whose Offsets are the vertex bounds.
+	base = base.Flat()
 	g := &Graph{}
 	snap := &Snapshot{
 		n:    base.N,
-		base: &graph.Graph{N: base.N, Offsets: base.Offsets, Adj: base.Adj},
+		base: sortedBase(&graph.Graph{N: base.N, Offsets: base.Offsets, Adj: base.Adj}),
 		adds: make([][]int32, base.N),
 		dels: make([][]int32, base.N),
 		arcs: base.NumEdges(),
 	}
+	g.mat = newMatState(snap)
+	snap.mat = g.mat
 	g.cur.Store(snap)
 	g.uf = newUnionFind(base.N)
 	for v := 0; v < base.N; v++ {
@@ -274,14 +331,38 @@ func NewEmpty(n int) *Graph {
 	}
 	g := &Graph{}
 	base := &graph.Graph{N: n, Offsets: make([]int64, n+1)}
-	g.cur.Store(&Snapshot{
+	snap := &Snapshot{
 		n:    n,
 		base: base,
 		adds: make([][]int32, n),
 		dels: make([][]int32, n),
-	})
+	}
+	g.mat = newMatState(snap)
+	snap.mat = g.mat
+	g.cur.Store(snap)
 	g.uf = newUnionFind(n)
 	return g
+}
+
+// sortedBase enforces the per-vertex sorted-adjacency invariant every
+// snapshot base carries (HasEdge/Degree binary-search against it). Graphs
+// that already satisfy it — every generator in internal/graph and every
+// compacted base — are returned unchanged; otherwise the adjacency is
+// copied and sorted segment by segment.
+func sortedBase(base *graph.Graph) *graph.Graph {
+	sorted := true
+	for v := 0; v < base.N && sorted; v++ {
+		sorted = slices.IsSorted(base.Neighbors(v))
+	}
+	if sorted {
+		return base
+	}
+	adj := slices.Clone(base.Adj)
+	out := &graph.Graph{N: base.N, Offsets: base.Offsets, Adj: adj}
+	for v := 0; v < out.N; v++ {
+		slices.Sort(out.Neighbors(v))
+	}
+	return out
 }
 
 // Snapshot returns the current immutable view.
@@ -346,6 +427,7 @@ func (s *Snapshot) clone(newN int) *Snapshot {
 		arcs:    s.arcs,
 		addArcs: s.addArcs,
 		delArcs: s.delArcs,
+		mat:     s.mat,
 	}
 	copy(ns.adds, s.adds)
 	copy(ns.dels, s.dels)
@@ -390,7 +472,7 @@ func (ns *Snapshot) deleteArc(u, v int32, c *cow) int64 {
 		removed += n
 	}
 	if int(u) < ns.base.N && !containsArc(ns.dels[u], v) {
-		if n := countArc(ns.base.Neighbors(int(u)), v); n > 0 {
+		if n := sortedCountArc(ns.base.Neighbors(int(u)), v); n > 0 {
 			if !c.dels[u] {
 				ns.dels[u] = detach(ns.dels[u])
 				c.dels[u] = true

@@ -357,7 +357,7 @@ func TestConcurrentWritersAndReaders(t *testing.T) {
 					errc <- fmt.Errorf("reader %d: %v", r, err)
 					return
 				}
-				if int64(len(f.Adj)) != s.NumArcs() {
+				if f.NumEdges() != s.NumArcs() {
 					errc <- fmt.Errorf("reader %d: arc count mismatch", r)
 					return
 				}

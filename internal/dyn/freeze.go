@@ -1,0 +1,231 @@
+package dyn
+
+import (
+	"sync"
+
+	"aamgo/internal/graph"
+)
+
+// Incremental snapshot materialization.
+//
+// The naive Freeze rebuilt the whole CSR on every new epoch: O(N+M) work
+// even when one edge changed. The matState below makes freeze cost
+// proportional to what changed. It keeps
+//
+//   - frozen: the last materialized view (flat after a rebuild, patched
+//     otherwise) and the epoch it represents;
+//   - adj: a shared append-only adjacency arena the frozen view points
+//     into. Published views are immutable — a touched vertex's merged
+//     adjacency is spliced to the arena tail (copy-on-write segments),
+//     never written over a live segment; readers of older views keep
+//     seeing their own segments;
+//   - journal: per-epoch records of which vertices' merged adjacency
+//     changed, written by Apply under its own lock. Freezing epoch e from
+//     frozen epoch e0 replays the journal entries (e0, e], copies the
+//     per-vertex index arrays, and splices only the union of touched
+//     vertices.
+//
+// The patched result is a graph.Graph in the Ends layout: untouched
+// vertices' Offsets/Ends still point at their base (or previously spliced)
+// segments, so no adjacency outside the touched set is copied. Compaction
+// — the amortizer — rebuilds a clean flat base, resets the arena and
+// truncates the journal; the same reset path bounds arena bloat when
+// spliced garbage outgrows the live graph.
+type matState struct {
+	mu     sync.Mutex
+	epoch  uint64
+	frozen *graph.Graph
+	adj    []int32
+	// journal[e] describes the transition e-1 → e. Bounded: when it
+	// outgrows maxJournal the whole map is dropped and the next freeze
+	// falls back to a full rebuild (which re-adopts and restarts the
+	// chain).
+	journal map[uint64]*journalEntry
+
+	stats FreezeStats
+}
+
+type journalEntry struct {
+	verts []int32 // vertices whose merged adjacency changed (unique)
+}
+
+const (
+	// maxJournal bounds the number of un-frozen epochs tracked before the
+	// incremental chain is abandoned.
+	maxJournal = 4096
+	// arenaSlackFactor bounds dead space: when the arena holds more than
+	// this multiple of the live arcs, the next freeze rebuilds flat.
+	arenaSlackFactor = 4
+)
+
+// FreezeStats counts materialization work over the graph's lifetime. The
+// key serving invariant — freeze after k mutations touches O(k) vertices,
+// not O(N) — is observable as TouchedVertices / SplicedArcs staying
+// proportional to the mutation stream while ReusedArcs tracks the graph
+// size.
+type FreezeStats struct {
+	// Freezes counts materialization requests that missed the per-snapshot
+	// cache (same-epoch re-freezes of one snapshot are free and invisible).
+	Freezes uint64
+	// SameEpoch counts freezes answered by the arena head without any work
+	// (a different Snapshot object of the already-frozen epoch).
+	SameEpoch uint64
+	// Incremental counts patched freezes (journal replays).
+	Incremental uint64
+	// FullRebuilds counts O(N+M) fallbacks: the first freeze, freezes of
+	// pre-arena epochs, journal gaps, and arena-bloat resets.
+	FullRebuilds uint64
+	// TouchedVertices / SplicedArcs total the vertices and arcs spliced by
+	// incremental freezes; ReusedArcs totals the arcs each incremental
+	// freeze did NOT copy (live arcs minus spliced).
+	TouchedVertices uint64
+	SplicedArcs     uint64
+	ReusedArcs      uint64
+}
+
+// newMatState seeds the arena with a snapshot's base: the base CSR is a
+// valid frozen view of epoch 0 (or of the compaction epoch).
+func newMatState(s *Snapshot) *matState {
+	m := &matState{journal: make(map[uint64]*journalEntry)}
+	m.adoptLocked(s.base, s.epoch)
+	return m
+}
+
+// adoptLocked installs g (a flat CSR) as the arena head for epoch. Callers
+// hold m.mu or are constructing m.
+func (m *matState) adoptLocked(g *graph.Graph, epoch uint64) {
+	m.frozen = g
+	m.epoch = epoch
+	// Cap the capacity: g.Adj may share backing with (and have spare
+	// capacity beyond) a caller-owned or another graph's array; the full
+	// slice expression forces the arena's first append to reallocate
+	// instead of writing into shared memory.
+	m.adj = g.Adj[:len(g.Adj):len(g.Adj)]
+	for e := range m.journal {
+		if e <= epoch {
+			delete(m.journal, e)
+		}
+	}
+}
+
+// record notes that the transition to epoch changed the merged adjacency
+// of verts (unique). Called by Apply for every published epoch, including
+// delta-free ones (verts nil), so the journal has no gaps.
+func (m *matState) record(epoch uint64, verts []int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.journal) >= maxJournal {
+		// Chain too long to replay; drop it and let the next freeze
+		// rebuild. Dropping everything keeps the invariant "journal covers
+		// a contiguous suffix of epochs" trivially true.
+		clear(m.journal)
+	}
+	m.journal[epoch] = &journalEntry{verts: verts}
+}
+
+// reset abandons the incremental chain and re-seeds the arena from a
+// freshly compacted snapshot (whose base IS its materialization).
+func (m *matState) reset(s *Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clear(m.journal)
+	m.adoptLocked(s.base, s.epoch)
+}
+
+// freeze materializes s, incrementally when the journal connects the arena
+// head to s's epoch, from scratch otherwise.
+func (m *matState) freeze(s *Snapshot) *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Freezes++
+	if m.epoch == s.epoch && m.frozen.N == s.n {
+		m.stats.SameEpoch++
+		return m.frozen
+	}
+	if g := m.incrementalLocked(s); g != nil {
+		return g
+	}
+	g := s.materialize()
+	m.stats.FullRebuilds++
+	if s.epoch > m.epoch {
+		m.adoptLocked(g, s.epoch)
+	}
+	return g
+}
+
+// incrementalLocked attempts the journal replay; nil means "fall back to a
+// full rebuild".
+func (m *matState) incrementalLocked(s *Snapshot) *graph.Graph {
+	if s.epoch <= m.epoch {
+		return nil // older epoch than the arena head: cannot replay backwards
+	}
+	if int64(len(m.adj)) > arenaSlackFactor*s.arcs+4096 {
+		return nil // arena mostly garbage: rebuild and reset
+	}
+	var verts []int32
+	for e := m.epoch + 1; e <= s.epoch; e++ {
+		j, ok := m.journal[e]
+		if !ok {
+			return nil // gap (journal overflowed): rebuild
+		}
+		verts = append(verts, j.verts...)
+	}
+	if len(verts) >= s.n {
+		return nil // most of the graph changed: a rebuild is no worse
+	}
+	prev := m.frozen
+
+	offsets := make([]int64, s.n+1)
+	ends := make([]int64, s.n)
+	copy(offsets, prev.Offsets[:prev.N+1])
+	if prev.Ends != nil {
+		copy(ends, prev.Ends)
+	} else {
+		for v := 0; v < prev.N; v++ {
+			ends[v] = prev.Offsets[v+1]
+		}
+	}
+	// Vertices added since prev start with empty segments ([0,0)); any
+	// that gained edges are in verts and get spliced below.
+	for v := prev.N; v < s.n; v++ {
+		offsets[v] = 0
+		ends[v] = 0
+	}
+
+	var touched, spliced int64
+	seen := make(map[int32]struct{}, len(verts))
+	for _, v := range verts {
+		if _, dup := seen[v]; dup {
+			continue // touched in several epochs: splice its final state once
+		}
+		seen[v] = struct{}{}
+		start := int64(len(m.adj))
+		m.adj = s.AppendNeighbors(m.adj, int(v))
+		offsets[v] = start
+		ends[v] = int64(len(m.adj))
+		touched++
+		spliced += ends[v] - start
+	}
+	offsets[s.n] = int64(len(m.adj))
+
+	g := &graph.Graph{N: s.n, Offsets: offsets, Ends: ends, Adj: m.adj, Arcs: s.arcs}
+	m.stats.Incremental++
+	m.stats.TouchedVertices += uint64(touched)
+	m.stats.SplicedArcs += uint64(spliced)
+	m.stats.ReusedArcs += uint64(s.arcs - spliced)
+	m.frozen = g
+	m.epoch = s.epoch
+	for e := range m.journal {
+		if e <= s.epoch {
+			delete(m.journal, e)
+		}
+	}
+	return g
+}
+
+// FreezeStats returns a copy of the lifetime materialization counters.
+func (g *Graph) FreezeStats() FreezeStats {
+	g.mat.mu.Lock()
+	defer g.mat.mu.Unlock()
+	return g.mat.stats
+}

@@ -12,10 +12,25 @@ import (
 
 // Graph is an adjacency structure in CSR form. For undirected graphs each
 // edge is stored in both directions.
+//
+// Two layouts share the type. In the flat layout (Ends == nil) the
+// adjacency of v is Adj[Offsets[v]:Offsets[v+1]] and segments are packed
+// back to back. In the patched (slack) layout, produced by incremental
+// snapshot freezes, the adjacency of v is Adj[Offsets[v]:Ends[v]]:
+// segments may live anywhere in Adj, need not be contiguous or in vertex
+// order, and Adj may carry dead space between them. Code that iterates via
+// Neighbors/Degree/EdgeWeights/End works on both layouts unchanged; code
+// that serializes the raw arrays must go through Flat first.
 type Graph struct {
 	N       int     // number of vertices
-	Offsets []int64 // len N+1; adjacency of v is Adj[Offsets[v]:Offsets[v+1]]
+	Offsets []int64 // len N+1; start of v's segment (flat: also the end of v-1's)
 	Adj     []int32
+	// Ends, when non-nil (len N), marks the end of each vertex's segment:
+	// the patched layout of incrementally frozen snapshots.
+	Ends []int64
+	// Arcs is the explicit stored-arc count of a patched graph; flat
+	// graphs leave it 0 (len(Adj) is exact there).
+	Arcs int64
 	// Weights, when non-nil, parallels Adj (used by Boruvka/SSSP).
 	Weights  []uint32
 	Directed bool
@@ -23,20 +38,43 @@ type Graph struct {
 
 // NumEdges returns the number of stored arcs (2× logical edges for
 // undirected graphs).
-func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) }
+func (g *Graph) NumEdges() int64 {
+	if g.Ends != nil {
+		return g.Arcs
+	}
+	return int64(len(g.Adj))
+}
+
+// End returns the index one past v's last arc in Adj (for direct
+// positional access; equals Offsets[v+1] on flat graphs).
+func (g *Graph) End(v int) int64 {
+	if g.Ends != nil {
+		return g.Ends[v]
+	}
+	return g.Offsets[v+1]
+}
 
 // Degree returns the out-degree of v.
 func (g *Graph) Degree(v int) int {
+	if g.Ends != nil {
+		return int(g.Ends[v] - g.Offsets[v])
+	}
 	return int(g.Offsets[v+1] - g.Offsets[v])
 }
 
 // Neighbors returns the adjacency slice of v (do not modify).
 func (g *Graph) Neighbors(v int) []int32 {
+	if g.Ends != nil {
+		return g.Adj[g.Offsets[v]:g.Ends[v]]
+	}
 	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
 }
 
 // EdgeWeights returns the weight slice parallel to Neighbors(v).
 func (g *Graph) EdgeWeights(v int) []uint32 {
+	if g.Ends != nil {
+		return g.Weights[g.Offsets[v]:g.Ends[v]]
+	}
 	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
 }
 
@@ -45,7 +83,29 @@ func (g *Graph) AvgDegree() float64 {
 	if g.N == 0 {
 		return 0
 	}
-	return float64(len(g.Adj)) / float64(g.N)
+	return float64(g.NumEdges()) / float64(g.N)
+}
+
+// Flat returns g itself when it is already in the flat layout, or a
+// freshly packed flat copy of a patched graph (segments in vertex order,
+// no slack). Serializers and other raw-array consumers call it before
+// touching Offsets/Adj directly.
+func (g *Graph) Flat() *Graph {
+	if g.Ends == nil {
+		return g
+	}
+	out := &Graph{N: g.N, Directed: g.Directed, Offsets: make([]int64, g.N+1), Adj: make([]int32, 0, g.Arcs)}
+	if g.Weights != nil {
+		out.Weights = make([]uint32, 0, g.Arcs)
+	}
+	for v := 0; v < g.N; v++ {
+		out.Adj = append(out.Adj, g.Neighbors(v)...)
+		if g.Weights != nil {
+			out.Weights = append(out.Weights, g.EdgeWeights(v)...)
+		}
+		out.Offsets[v+1] = int64(len(out.Adj))
+	}
+	return out
 }
 
 // MaxDegree returns the largest out-degree.
@@ -82,6 +142,33 @@ func (g *Graph) Validate() error {
 	if len(g.Offsets) != g.N+1 {
 		return fmt.Errorf("graph: offsets len %d, want %d", len(g.Offsets), g.N+1)
 	}
+	if g.Weights != nil && len(g.Weights) != len(g.Adj) {
+		return fmt.Errorf("graph: weights len %d, adj len %d", len(g.Weights), len(g.Adj))
+	}
+	if g.Ends != nil {
+		// Patched layout: segments are [Offsets[v], Ends[v]) anywhere in
+		// Adj; only segment content is constrained, not segment order.
+		if len(g.Ends) != g.N {
+			return fmt.Errorf("graph: ends len %d, want %d", len(g.Ends), g.N)
+		}
+		var arcs int64
+		for v := 0; v < g.N; v++ {
+			lo, hi := g.Offsets[v], g.Ends[v]
+			if lo < 0 || hi < lo || hi > int64(len(g.Adj)) {
+				return fmt.Errorf("graph: segment [%d,%d) of vertex %d out of range [0,%d]", lo, hi, v, len(g.Adj))
+			}
+			arcs += hi - lo
+			for _, w := range g.Adj[lo:hi] {
+				if int(w) < 0 || int(w) >= g.N {
+					return fmt.Errorf("graph: neighbor %d of vertex %d out of range", w, v)
+				}
+			}
+		}
+		if arcs != g.Arcs {
+			return fmt.Errorf("graph: arcs = %d, segments hold %d", g.Arcs, arcs)
+		}
+		return nil
+	}
 	if g.Offsets[0] != 0 {
 		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.Offsets[0])
 	}
@@ -97,9 +184,6 @@ func (g *Graph) Validate() error {
 		if int(w) < 0 || int(w) >= g.N {
 			return fmt.Errorf("graph: adj[%d] = %d out of range", i, w)
 		}
-	}
-	if g.Weights != nil && len(g.Weights) != len(g.Adj) {
-		return fmt.Errorf("graph: weights len %d, adj len %d", len(g.Weights), len(g.Adj))
 	}
 	return nil
 }
@@ -226,8 +310,12 @@ func SymmetricWeight(seed uint64) func(u, v int32) uint32 {
 // AttachSymmetricWeights returns a shallow copy of g carrying
 // SymmetricWeight(seed) edge weights: adjacency shared with g, fresh
 // weight array. Use it to put an unweighted graph into the metric space
-// SSSP and MST require without rebuilding the CSR.
+// SSSP and MST require without rebuilding the CSR. A patched graph is
+// packed flat first: the weight array parallels Adj, and sizing it to a
+// slack arena would allocate (and zero) up to several times the live
+// arcs.
 func AttachSymmetricWeights(g *Graph, seed uint64) *Graph {
+	g = g.Flat()
 	wf := SymmetricWeight(seed)
 	g2 := *g
 	g2.Weights = make([]uint32, len(g.Adj))

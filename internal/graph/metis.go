@@ -195,6 +195,7 @@ const (
 
 // WriteBinary writes g in the binary CSR format.
 func WriteBinary(w io.Writer, g *Graph) error {
+	g = g.Flat() // the format stores the raw flat arrays
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binMagic); err != nil {
 		return err

@@ -107,14 +107,26 @@ func NewEdgePartition(g *Graph, nodes int) EdgePartition {
 		nodes = 1
 	}
 	p := EdgePartition{N: g.N, Nodes: nodes, starts: make([]int32, nodes+1)}
-	total := g.Offsets[g.N] + int64(g.N) // Σ (deg(v)+1)
+	// prefix(v) is Σ_{u<v} (deg(u)+1). On the flat layout it is
+	// Offsets[v]+v, already materialized by the CSR; the patched layout
+	// (g.Ends != nil) has no cumulative offsets, so build the prefix sums
+	// in one O(N) walk over the per-vertex degrees.
+	prefix := func(v int) int64 { return g.Offsets[v] + int64(v) }
+	total := g.NumEdges() + int64(g.N) // Σ (deg(v)+1)
+	if g.Ends != nil {
+		cum := make([]int64, g.N+1)
+		for u := 0; u < g.N; u++ {
+			cum[u+1] = cum[u] + int64(g.Degree(u)) + 1
+		}
+		prefix = func(v int) int64 { return cum[v] }
+	}
 	v := 0
 	for i := 1; i < nodes; i++ {
 		target := total * int64(i) / int64(nodes)
 		// Advance to the first vertex whose prefix load reaches target.
-		// The prefix Offsets[v]+v is strictly increasing, so the combined
-		// walk over all boundaries is one O(N) pass.
-		for v < g.N && g.Offsets[v]+int64(v) < target {
+		// The prefix is strictly increasing, so the combined walk over all
+		// boundaries is one O(N) pass.
+		for v < g.N && prefix(v) < target {
 			v++
 		}
 		p.starts[i] = int32(v)
@@ -163,5 +175,12 @@ func (p EdgePartition) MaxLocal() int { return p.maxLoc }
 // (the quantity the partition balances); handy for tests and diagnostics.
 func (p EdgePartition) ArcLoad(g *Graph, node int) int64 {
 	lo, hi := p.Range(node)
+	if g.Ends != nil {
+		var arcs int64
+		for v := lo; v < hi; v++ {
+			arcs += int64(g.Degree(v))
+		}
+		return arcs
+	}
 	return g.Offsets[hi] - g.Offsets[lo]
 }

@@ -46,6 +46,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -75,6 +76,10 @@ type Config struct {
 	// MaxConcurrent bounds the worker pool: at most this many requests
 	// execute graph work at once; further requests wait (default 8).
 	MaxConcurrent int
+	// CacheBytes bounds the epoch-keyed query cache (LRU by total body
+	// bytes). 0 selects the 32 MiB default; negative disables the cache
+	// (singleflight collapsing included — ETag/304 handling stays on).
+	CacheBytes int64
 	// Seed fixes machine randomness (default 1).
 	Seed int64
 	// EnablePprof registers the net/http/pprof handlers under
@@ -111,6 +116,9 @@ func (c Config) resolve() (Config, exec.MachineProfile, error) {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 8
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 32 << 20
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -126,10 +134,14 @@ type Server struct {
 	mux  *http.ServeMux
 	t0   time.Time
 
-	requests  atomic.Uint64
-	queries   atomic.Uint64
-	mutations atomic.Uint64
-	rejected  atomic.Uint64 // requests that failed validation (4xx)
+	cache *queryCache // nil when Config.CacheBytes < 0
+	boot  uint64      // per-instance ETag nonce (epochs restart every boot)
+
+	requests    atomic.Uint64
+	queries     atomic.Uint64 // computed queries (cache hits and 304s excluded)
+	mutations   atomic.Uint64
+	rejected    atomic.Uint64 // requests that failed validation (4xx)
+	notModified atomic.Uint64 // ETag If-None-Match hits answered 304
 }
 
 // New builds a server over g.
@@ -145,17 +157,28 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 		sem:  make(chan struct{}, cfg.MaxConcurrent),
 		mux:  http.NewServeMux(),
 		t0:   time.Now(),
+		boot: uint64(time.Now().UnixNano()),
 	}
-	s.mux.HandleFunc("/edges", s.pooled(s.handleEdges))
-	s.mux.HandleFunc("/vertices", s.pooled(s.handleVertices))
-	s.mux.HandleFunc("/graph", s.pooled(s.handleGraph))
-	s.mux.HandleFunc("/query/bfs", s.pooled(s.handleBFS))
-	s.mux.HandleFunc("/query/cc", s.pooled(s.handleCC))
-	s.mux.HandleFunc("/query/pagerank", s.pooled(s.handlePageRank))
-	s.mux.HandleFunc("/query/sssp", s.pooled(s.handleSSSP))
-	s.mux.HandleFunc("/query/mst", s.pooled(s.handleMST))
-	s.mux.HandleFunc("/query/coloring", s.pooled(s.handleColoring))
-	s.mux.HandleFunc("/stats", s.pooled(s.handleStats))
+	if cfg.CacheBytes > 0 {
+		s.cache = newQueryCache(cfg.CacheBytes)
+	}
+	s.mux.HandleFunc("/edges", s.counted(s.pooled(s.handleEdges)))
+	s.mux.HandleFunc("/vertices", s.counted(s.pooled(s.handleVertices)))
+	// GET endpoints whose body is a pure function of (epoch, params) run
+	// behind the epoch-keyed cache: ETag short-circuit, then LRU replay,
+	// then singleflight-collapsed computation inside the worker pool.
+	for path, h := range map[string]http.HandlerFunc{
+		"/graph":          s.handleGraph,
+		"/query/bfs":      s.handleBFS,
+		"/query/cc":       s.handleCC,
+		"/query/pagerank": s.handlePageRank,
+		"/query/sssp":     s.handleSSSP,
+		"/query/mst":      s.handleMST,
+		"/query/coloring": s.handleColoring,
+	} {
+		s.mux.HandleFunc(path, s.counted(s.cachedGET(s.pooled(h))))
+	}
+	s.mux.HandleFunc("/stats", s.counted(s.statsETag(s.pooled(s.handleStats))))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -169,11 +192,20 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 // Handler returns the daemon's HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// counted tallies every request once, at the outermost layer, so
+// cache-served and 304 responses are visible in /stats alongside computed
+// ones.
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
 // pooled gates h behind the bounded worker pool. A request whose client
 // goes away while queued is dropped without running.
 func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
@@ -181,6 +213,170 @@ func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
 		case <-r.Context().Done():
 			http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
 		}
+	}
+}
+
+// etagMatch implements the If-None-Match comparison (weak comparison is
+// fine here: our tags are exact strings). "*" is deliberately not
+// special-cased: it would short-circuit before request validation and
+// 304 requests that have no current representation (e.g. a 400).
+func etagMatch(headerVal, etag string) bool {
+	for _, part := range strings.Split(headerVal, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// cachedGET layers the read-path fast paths over a GET query handler:
+//
+//  1. If-None-Match against the epoch-derived ETag → 304, no body, no
+//     graph work;
+//  2. epoch-keyed LRU lookup → replay the cached bytes (worker pool
+//     bypassed);
+//  3. singleflight: one leader computes inside the worker pool, every
+//     concurrent identical request waits and replays the leader's bytes.
+//
+// Results are stored only when the graph epoch was stable across the
+// computation, so a cached body always matches its key's epoch; lookups
+// always key on the current epoch, so a mutation implicitly invalidates
+// every older entry.
+func (s *Server) cachedGET(inner http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			inner(w, r)
+			return
+		}
+		key := cacheKey{epoch: s.g.Epoch(), path: r.URL.Path, params: canonicalParams(r.URL.Query())}
+		etag := key.etag(s.boot)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			s.notModified.Add(1)
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if s.cache == nil {
+			rec := newBodyRecorder()
+			inner(rec, r)
+			// Tag only epoch-stable 200s (same rule as the caching leader):
+			// a tagged 4xx would let the 304 precheck validate an error.
+			tag := ""
+			if rec.status == http.StatusOK && s.g.Epoch() == key.epoch {
+				tag = etag
+			}
+			s.replay(w, rec.header, rec.status, rec.body, tag)
+			return
+		}
+		var f *flight
+		leader := false
+		for !leader {
+			var body []byte
+			body, f, leader = s.cache.acquire(key)
+			if body != nil {
+				h := make(http.Header)
+				h.Set("Content-Type", "application/json")
+				s.replay(w, h, http.StatusOK, body, etag)
+				return
+			}
+			if leader {
+				break
+			}
+			select {
+			case <-f.done:
+				// A 503 here means the leader's own client vanished while
+				// queued for the pool — that says nothing about this
+				// request, whose connection is alive. Re-acquire: the next
+				// round finds the cached entry, a new flight, or promotes
+				// this request to leader.
+				if f.status == http.StatusServiceUnavailable && r.Context().Err() == nil {
+					continue
+				}
+				tag := ""
+				if f.cached {
+					tag = etag
+				}
+				s.replay(w, f.header, f.status, f.body, tag)
+				return
+			case <-r.Context().Done():
+				http.Error(w, "canceled while collapsed", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		rec := newBodyRecorder()
+		completed := false
+		defer func() {
+			if !completed { // handler panicked: wake followers with a 500
+				f.status, f.body = http.StatusInternalServerError, nil
+				f.header = rec.header
+				close(f.done)
+				s.cache.finish(key)
+			}
+		}()
+		inner(rec, r)
+		f.status, f.body, f.header = rec.status, rec.body, rec.header
+		// Cache (and stamp with the ETag) only epoch-stable 200s.
+		if rec.status == http.StatusOK && s.g.Epoch() == key.epoch {
+			f.cached = true
+			s.cache.store(key, rec.body)
+		}
+		close(f.done)
+		s.cache.finish(key)
+		completed = true
+		tag := ""
+		if f.cached {
+			tag = etag
+		}
+		s.replay(w, rec.header, rec.status, rec.body, tag)
+	}
+}
+
+// replay writes a recorded response, optionally stamped with an ETag.
+func (s *Server) replay(w http.ResponseWriter, header http.Header, status int, body []byte, etag string) {
+	for k, vs := range header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// statsETag gives /stats conditional-GET support. The tag witnesses the
+// graph epoch and every activity counter a poller monitors — mutations,
+// computed queries, rejections, cache traffic, freeze work — but not the
+// self-referential ones (uptime, the raw request count and etag_304,
+// which the conditional polls themselves bump), so back-to-back polls of
+// an idle server cost no body.
+func (s *Server) statsETag(inner http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			inner(w, r)
+			return
+		}
+		var cacheActivity uint64
+		if s.cache != nil {
+			cs := s.cache.stats()
+			cacheActivity = cs.Hits + cs.Misses + cs.Collapsed + cs.Evictions
+		}
+		fz := s.g.FreezeStats()
+		// Weak tag: identically-tagged bodies are semantically equivalent
+		// (same graph state and activity) but not byte-identical —
+		// uptime_ns always moves.
+		etag := fmt.Sprintf("W/\"s%d-%d-%d-%d-%d-%d-%d\"", s.boot, s.g.Epoch(),
+			s.mutations.Load(), s.queries.Load(), s.rejected.Load(),
+			cacheActivity, fz.Freezes+fz.FullRebuilds)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			s.notModified.Add(1)
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		inner(w, r)
 	}
 }
 
@@ -904,7 +1100,10 @@ type statsResponse struct {
 	Queries      uint64            `json:"queries"`
 	Mutations    uint64            `json:"mutation_batches"`
 	BadRequests  uint64            `json:"bad_requests"`
+	NotModified  uint64            `json:"etag_304"`
+	Cache        *CacheStats       `json:"cache,omitempty"`
 	Graph        dyn.CumStats      `json:"graph"`
+	Freeze       dyn.FreezeStats   `json:"freeze"`
 	TxCommitted  uint64            `json:"tx_committed"`
 	TxAborts     uint64            `json:"tx_aborts"`
 	TxSerialized uint64            `json:"tx_serialized"`
@@ -921,16 +1120,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for reason := stats.AbortReason(0); reason < stats.NumAbortReasons; reason++ {
 		reasons[reason.String()] = gs.Tx.Aborts[reason]
 	}
-	s.writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		UptimeNS:     time.Since(s.t0).Nanoseconds(),
 		Requests:     s.requests.Load(),
 		Queries:      s.queries.Load(),
 		Mutations:    s.mutations.Load(),
 		BadRequests:  s.rejected.Load(),
+		NotModified:  s.notModified.Load(),
 		Graph:        gs,
+		Freeze:       s.g.FreezeStats(),
 		TxCommitted:  gs.Tx.TxCommitted,
 		TxAborts:     gs.Tx.TotalAborts(),
 		TxSerialized: gs.Tx.TxSerialized,
 		AbortReasons: reasons,
-	})
+	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		resp.Cache = &cs
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
