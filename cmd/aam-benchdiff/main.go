@@ -6,10 +6,12 @@
 //
 //	aam-benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json [-threshold 0.20]
 //
-// Metrics gate in two classes, by name: throughput metrics (containing
+// Metrics gate in three classes, by name: throughput metrics (containing
 // ".tput.") are higher-is-better and regress when
 // current < baseline × (1 − threshold) — the committed baseline holds
-// conservative floors for them; every other metric is a deterministic
+// conservative floors for them; latency metrics (containing ".lat.") are
+// lower-is-better and regress when current > baseline × (1 + threshold) —
+// the baseline holds conservative ceilings; every other metric is a deterministic
 // count (message/batch totals, reduction ratios) for a fixed scale and
 // seed, and must match the baseline exactly — any drift, in either
 // direction, means the messaging behavior changed and the baseline needs
@@ -95,6 +97,17 @@ func diff(w io.Writer, base, cur bench.CIReport, threshold float64) (regressions
 				continue
 			}
 			compared++
+			if strings.Contains(name, ".lat.") {
+				ceiling := baseV * (1 + threshold)
+				status := "ok  "
+				if curV > ceiling {
+					status = "FAIL"
+					regressions++
+				}
+				fmt.Fprintf(w, "%s %s/%s: current %.4g vs baseline ceiling %.4g (%.4g + %.0f%%)\n",
+					status, id, name, curV, ceiling, baseV, threshold*100)
+				continue
+			}
 			if strings.Contains(name, ".tput.") {
 				floor := baseV * (1 - threshold)
 				status := "ok  "

@@ -121,6 +121,27 @@ func TestDiffGatesValues(t *testing.T) {
 			t.Fatalf("metrics %v: regressions != 1:\n%s", m, out)
 		}
 	}
+	// Latency metrics gate as ceilings: under (or within threshold of) the
+	// baseline passes, above the ceiling fails.
+	latBase := report(map[string]bench.CIExperiment{
+		"serving": {Metrics: map[string]float64{"serving.lat.p99us.bfs": 100}},
+	})
+	for _, c := range []struct {
+		v    float64
+		want int
+	}{
+		{v: 50, want: 0},  // improvement: never gates
+		{v: 119, want: 0}, // within the +20% ceiling
+		{v: 121, want: 1}, // over the ceiling
+	} {
+		cur := report(map[string]bench.CIExperiment{
+			"serving": {Metrics: map[string]float64{"serving.lat.p99us.bfs": c.v}},
+		})
+		if out, regressions, _ := runDiff(t, latBase, cur); regressions != c.want {
+			t.Fatalf("latency %v: regressions = %d, want %d:\n%s", c.v, regressions, c.want, out)
+		}
+	}
+
 	// Failed shape checks always gate.
 	cur = report(map[string]bench.CIExperiment{
 		"sharded": {ChecksFailed: 2, Metrics: map[string]float64{

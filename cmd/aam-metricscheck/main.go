@@ -1,0 +1,89 @@
+// Command aam-metricscheck validates a Prometheus text exposition scraped
+// from a live aam-serve instance: every non-comment line must parse as
+// `name{labels} value`, the total series count must reach -min-series, and
+// every base metric name given as an argument must be present. The CI
+// bench-smoke job runs it against a /metrics scrape so the exposition
+// contract — parseable text spanning the serve, dyn and shard layers —
+// is enforced on every push.
+//
+// Usage:
+//
+//	aam-metricscheck [-min-series 20] metrics.txt required_base_name...
+//
+// Example:
+//
+//	curl -s localhost:8080/metrics > metrics.txt
+//	aam-metricscheck -min-series 20 metrics.txt \
+//	    aam_serve_requests_total aam_dyn_batches_total aam_shard_remote_units_sent_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var seriesLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func main() {
+	minSeries := flag.Int("min-series", 20, "minimum number of series the exposition must contain")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "aam-metricscheck: usage: aam-metricscheck [-min-series N] metrics.txt required_base_name...")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aam-metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+	series, errs := check(string(data), *minSeries, flag.Args()[1:])
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "aam-metricscheck: %s\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("aam-metricscheck: ok (%d series, %d required names present)\n", series, flag.NArg()-1)
+}
+
+// check validates the exposition text and returns the series count plus
+// every violation found. Extracted from main so the contract is
+// unit-testable.
+func check(text string, minSeries int, required []string) (series int, errs []string) {
+	present := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := seriesLine.FindStringSubmatch(line)
+		if m == nil {
+			errs = append(errs, fmt.Sprintf("unparseable line %q", line))
+			continue
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			errs = append(errs, fmt.Sprintf("bad value in %q: %v", line, err))
+			continue
+		}
+		series++
+		// The base name drops the summary/histogram suffixes so required
+		// names match whichever series shape the instrument renders as.
+		name := m[1]
+		present[name] = true
+		for _, suf := range []string{"_sum", "_count"} {
+			present[strings.TrimSuffix(name, suf)] = true
+		}
+	}
+	if series < minSeries {
+		errs = append(errs, fmt.Sprintf("exposition has %d series, want >= %d", series, minSeries))
+	}
+	for _, name := range required {
+		if !present[name] {
+			errs = append(errs, fmt.Sprintf("required metric %q missing", name))
+		}
+	}
+	return series, errs
+}

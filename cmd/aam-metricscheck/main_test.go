@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# TYPE aam_serve_requests_total counter
+aam_serve_requests_total 42
+# TYPE aam_serve_request_latency_ns summary
+aam_serve_request_latency_ns{endpoint="bfs",quantile="0.99"} 1.2e+06
+aam_serve_request_latency_ns_sum{endpoint="bfs"} 3400000
+aam_serve_request_latency_ns_count{endpoint="bfs"} 7
+# TYPE aam_dyn_epoch gauge
+aam_dyn_epoch 3
+`
+
+func TestCheckAccepts(t *testing.T) {
+	series, errs := check(goodExposition, 5, []string{
+		"aam_serve_requests_total",
+		"aam_serve_request_latency_ns", // matched via the _sum/_count suffix strip
+		"aam_dyn_epoch",
+	})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if series != 5 {
+		t.Fatalf("series = %d, want 5", series)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name     string
+		text     string
+		min      int
+		required []string
+		wantFrag string
+	}{
+		{"unparseable line", goodExposition + "this is not a metric\n", 1, nil, "unparseable line"},
+		{"missing required", goodExposition, 1, []string{"aam_shard_remote_units_sent_total"}, "missing"},
+		{"too few series", goodExposition, 100, nil, "want >= 100"},
+		{"bad name start", "9bad_name 1\n", 1, nil, "unparseable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, errs := check(c.text, c.min, c.required)
+			if len(errs) == 0 {
+				t.Fatal("want errors, got none")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, c.wantFrag) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error contains %q: %v", c.wantFrag, errs)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 //	          [-mech htm|atomic|lock|occ|flatcomb] [-backend sim|native]
 //	          [-machine has-c] [-threads 4] [-workers 8] [-pprof]
 //	          [-cache on|off] [-cache-bytes 33554432]
+//	          [-log-level info] [-slowlog 32]
 //
 // Examples:
 //
@@ -16,10 +17,16 @@
 //	curl -X POST localhost:8080/edges -d '{"edges":[[0,1],[1,2]]}'
 //	curl 'localhost:8080/query/bfs?src=0'
 //	curl 'localhost:8080/query/bfs?src=0&shards=4'   # sharded executor
+//	curl 'localhost:8080/query/bfs?src=0&trace=1'    # embed the trace span
 //	curl 'localhost:8080/query/cc'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'                    # Prometheus exposition
+//	curl 'localhost:8080/debug/slowlog'              # top-K slowest queries
 //
-// SIGINT/SIGTERM drain in-flight requests and stop the daemon gracefully.
+// Logs are structured (log/slog, text format on stderr); -log-level debug
+// adds a per-request line with endpoint, status, latency and epoch fields.
+// SIGINT/SIGTERM drain in-flight requests, log a final stats snapshot and
+// stop the daemon gracefully.
 package main
 
 import (
@@ -27,7 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,43 +48,58 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		in      = flag.String("graph", "", "input graph file (binary/METIS/edge list, auto-detected); empty generates")
-		gen     = flag.String("gen", "kron", "generator when -graph is empty: kron, er, road, ba, community, web")
-		scale   = flag.Int("scale", 10, "generator scale (2^scale vertices)")
-		ef      = flag.Int("ef", 8, "generator edge factor")
-		seed    = flag.Int64("seed", 1, "generator and machine seed")
-		mech    = flag.String("mech", "htm", "isolation mechanism: htm, atomic, lock, occ, flatcomb")
-		backend = flag.String("backend", "sim", "machine backend: sim or native")
-		machine = flag.String("machine", "has-c", "machine profile: has-c, has-p, bgq")
-		threads = flag.Int("threads", 4, "threads per machine run")
-		workers = flag.Int("workers", 8, "max concurrent requests doing graph work")
-		coarsen = flag.Int("m", 16, "coarsening factor M (operators per transaction)")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		cache   = flag.String("cache", "on", "epoch-keyed query cache: on or off")
-		cacheBy = flag.Int64("cache-bytes", 32<<20, "query cache size bound in bytes")
+		addr     = flag.String("addr", ":8080", "listen address")
+		in       = flag.String("graph", "", "input graph file (binary/METIS/edge list, auto-detected); empty generates")
+		gen      = flag.String("gen", "kron", "generator when -graph is empty: kron, er, road, ba, community, web")
+		scale    = flag.Int("scale", 10, "generator scale (2^scale vertices)")
+		ef       = flag.Int("ef", 8, "generator edge factor")
+		seed     = flag.Int64("seed", 1, "generator and machine seed")
+		mech     = flag.String("mech", "htm", "isolation mechanism: htm, atomic, lock, occ, flatcomb")
+		backend  = flag.String("backend", "sim", "machine backend: sim or native")
+		machine  = flag.String("machine", "has-c", "machine profile: has-c, has-p, bgq")
+		threads  = flag.Int("threads", 4, "threads per machine run")
+		workers  = flag.Int("workers", 8, "max concurrent requests doing graph work")
+		coarsen  = flag.Int("m", 16, "coarsening factor M (operators per transaction)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		cache    = flag.String("cache", "on", "epoch-keyed query cache: on or off")
+		cacheBy  = flag.Int64("cache-bytes", 32<<20, "query cache size bound in bytes")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error (debug logs every request)")
+		slowlogK = flag.Int("slowlog", 32, "slow-query log capacity (top-K slowest, served at /debug/slowlog)")
 	)
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "aam-serve: unknown -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	cacheBytes := *cacheBy
 	switch *cache {
 	case "on":
 		if cacheBytes <= 0 {
-			log.Fatalf("aam-serve: -cache-bytes %d must be positive with -cache on", cacheBytes)
+			fatal("-cache-bytes must be positive with -cache on", "cache_bytes", cacheBytes)
 		}
 	case "off":
 		cacheBytes = -1
 	default:
-		log.Fatalf("aam-serve: unknown -cache %q (want on or off)", *cache)
+		fatal("unknown -cache value (want on or off)", "cache", *cache)
 	}
 
 	g, err := load(*in, *gen, *scale, *ef, *seed)
 	if err != nil {
-		log.Fatalf("aam-serve: %v", err)
+		fatal("loading graph", "err", err)
 	}
 	mechanism, ok := serve.MechByName(*mech)
 	if !ok {
-		log.Fatalf("aam-serve: unknown mechanism %q", *mech)
+		fatal("unknown mechanism", "mech", *mech)
 	}
 	srv, err := serve.New(g, serve.Config{
 		Mechanism:     mechanism,
@@ -89,9 +111,11 @@ func main() {
 		CacheBytes:    cacheBytes,
 		Seed:          *seed,
 		EnablePprof:   *pprofOn,
+		SlowlogK:      *slowlogK,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatalf("aam-serve: %v", err)
+		fatal("starting server", "err", err)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -100,24 +124,31 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("aam-serve: %d vertices, %d arcs; %s/%s mechanism=%s on %s",
-		g.N(), g.NumArcs(), *backend, *machine, mechanism, *addr)
+	logger.Info("serving",
+		"addr", *addr,
+		"vertices", g.N(),
+		"arcs", g.NumArcs(),
+		"backend", *backend,
+		"machine", *machine,
+		"mech", mechanism.String(),
+	)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("aam-serve: %v", err)
+		fatal("listen", "err", err)
 	case <-ctx.Done():
 	}
-	log.Print("aam-serve: draining")
+	logger.Info("draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("aam-serve: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("aam-serve: %v", err)
+		logger.Warn("server error", "err", err)
 	}
-	log.Print("aam-serve: stopped")
+	srv.LogFinalStats()
+	logger.Info("stopped")
 }
 
 // load reads or generates the initial graph and wraps it as a dyn.Graph.

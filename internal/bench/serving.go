@@ -191,6 +191,12 @@ type servingStats struct {
 		Misses    uint64 `json:"misses"`
 		Collapsed uint64 `json:"collapsed"`
 	} `json:"cache"`
+	Latency map[string]struct {
+		Count  uint64 `json:"count"`
+		P50NS  uint64 `json:"p50_ns"`
+		P99NS  uint64 `json:"p99_ns"`
+		P999NS uint64 `json:"p999_ns"`
+	} `json:"latency"`
 }
 
 func scrapeStats(h http.Handler) servingStats {
@@ -252,6 +258,26 @@ func servingCachePart(rep *Report, o Options) {
 	rep.Metricf("serving.cache.misses", float64(cachedStats.Cache.Misses))
 	rep.Metricf("serving.etag_304", float64(cachedStats.ETag304))
 	rep.Metricf("serving.tput.qps.cached", qps(cached))
+
+	// Tail-latency ceilings from the per-endpoint histograms /stats now
+	// reports: ".lat." metrics gate as upper bounds in benchdiff, so a
+	// regression in the cached read path fails even when QPS still clears
+	// its floor.
+	lt := rep.NewTable("cached-path endpoint latency (per-endpoint histograms)",
+		"endpoint", "samples", "p50-us", "p99-us", "p999-us")
+	for _, ep := range []string{"bfs", "pagerank", "cc"} {
+		l, ok := cachedStats.Latency[ep]
+		if !ok || l.Count == 0 {
+			panic(fmt.Sprintf("serving: /stats has no latency summary for %s", ep))
+		}
+		lt.AddRow(ep, utoa(l.Count),
+			fmt.Sprintf("%.1f", float64(l.P50NS)/1e3),
+			fmt.Sprintf("%.1f", float64(l.P99NS)/1e3),
+			fmt.Sprintf("%.1f", float64(l.P999NS)/1e3))
+		if ep == "bfs" || ep == "pagerank" {
+			rep.Metricf("serving.lat.p99us."+ep, float64(l.P99NS)/1e3)
+		}
+	}
 
 	// /graph is summary metadata, not an analytics computation, so the
 	// computed-queries counter covers the other nq-1 endpoints.

@@ -105,6 +105,9 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 		return BatchResult{}, err
 	}
 
+	start := time.Now()
+	defer func() { g.histApply.RecordSince(int64(time.Since(start))) }()
+
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
@@ -226,6 +229,13 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 	g.cum.Redundant += uint64(res.Redundant)
 	g.cum.Epoch = ns.epoch
 	g.cum.Tx.Add(&res.Stats.Thread)
+	if m := int(cfg.Mechanism); m >= 0 && m < numMechs {
+		pm := &g.cum.PerMech[m]
+		pm.Batches++
+		pm.Aborts += res.Stats.TotalAborts()
+		pm.Retries += res.Stats.Retries
+		pm.Serialized += res.Stats.TxSerialized
+	}
 	res.Epoch = ns.epoch
 	return res, nil
 }

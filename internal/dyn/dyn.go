@@ -36,7 +36,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aamgo/internal/aam"
 	"aamgo/internal/graph"
+	"aamgo/internal/obs"
 	"aamgo/internal/stats"
 )
 
@@ -269,6 +271,25 @@ type Graph struct {
 	ccDirty bool
 
 	cum CumStats
+
+	// histApply records Apply wall time (validation + transactional phase
+	// + fold + publish). The freeze-latency histograms live on mat. All
+	// three record from the graph's birth and surface through
+	// RegisterMetrics when a server mounts the graph.
+	histApply *obs.Histogram
+}
+
+// numMechs is the isolation-mechanism count (MechHTM..MechFlatCombining).
+const numMechs = int(aam.MechFlatCombining) + 1
+
+// MechStats attributes transactional outcomes to the isolation mechanism
+// the batch ran under — the per-mechanism abort/retry rates of the
+// paper's evaluation, as live series instead of a bench artifact.
+type MechStats struct {
+	Batches    uint64
+	Aborts     uint64 // hardware aborts (all reasons but explicit)
+	Retries    uint64
+	Serialized uint64
 }
 
 // CumStats aggregates the lifetime counters of one Graph.
@@ -283,6 +304,9 @@ type CumStats struct {
 	// aborts by reason, retries, serializations, atomics, lock
 	// acquisitions, flat-combined operators.
 	Tx stats.Total
+	// PerMech splits abort/retry/serialization outcomes by the isolation
+	// mechanism each batch ran under.
+	PerMech [numMechs]MechStats
 }
 
 // New wraps a static base graph. The base must be undirected and is frozen
@@ -312,6 +336,7 @@ func New(base *graph.Graph) (*Graph, error) {
 	}
 	g.mat = newMatState(snap)
 	snap.mat = g.mat
+	g.histApply = obs.NewHistogram()
 	g.cur.Store(snap)
 	g.uf = newUnionFind(base.N)
 	for v := 0; v < base.N; v++ {
@@ -339,6 +364,7 @@ func NewEmpty(n int) *Graph {
 	}
 	g.mat = newMatState(snap)
 	snap.mat = g.mat
+	g.histApply = obs.NewHistogram()
 	g.cur.Store(snap)
 	g.uf = newUnionFind(n)
 	return g

@@ -2,8 +2,10 @@ package dyn
 
 import (
 	"sync"
+	"time"
 
 	"aamgo/internal/graph"
+	"aamgo/internal/obs"
 )
 
 // Incremental snapshot materialization.
@@ -43,6 +45,14 @@ type matState struct {
 	journal map[uint64]*journalEntry
 
 	stats FreezeStats
+
+	// Freeze-latency histograms, split by path: journal replays are the
+	// serving fast path, full rebuilds the O(N+M) fallback. Built with the
+	// state so they record from the graph's birth; exposed through
+	// Graph.RegisterMetrics. The FullMaterialize oracle path bypasses this
+	// state entirely and is deliberately not recorded.
+	histInc  *obs.Histogram
+	histFull *obs.Histogram
 }
 
 type journalEntry struct {
@@ -86,7 +96,11 @@ type FreezeStats struct {
 // newMatState seeds the arena with a snapshot's base: the base CSR is a
 // valid frozen view of epoch 0 (or of the compaction epoch).
 func newMatState(s *Snapshot) *matState {
-	m := &matState{journal: make(map[uint64]*journalEntry)}
+	m := &matState{
+		journal:  make(map[uint64]*journalEntry),
+		histInc:  obs.NewHistogram(),
+		histFull: obs.NewHistogram(),
+	}
 	m.adoptLocked(s.base, s.epoch)
 	return m
 }
@@ -142,10 +156,13 @@ func (m *matState) freeze(s *Snapshot) *graph.Graph {
 		m.stats.SameEpoch++
 		return m.frozen
 	}
+	start := time.Now()
 	if g := m.incrementalLocked(s); g != nil {
+		m.histInc.RecordSince(int64(time.Since(start)))
 		return g
 	}
 	g := s.materialize()
+	m.histFull.RecordSince(int64(time.Since(start)))
 	m.stats.FullRebuilds++
 	if s.epoch > m.epoch {
 		m.adoptLocked(g, s.epoch)

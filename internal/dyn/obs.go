@@ -1,0 +1,62 @@
+package dyn
+
+import (
+	"fmt"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/obs"
+	"aamgo/internal/stats"
+)
+
+// RegisterMetrics exposes the graph's lifetime telemetry on reg. The
+// histograms (freeze and mutation-batch latency) are owned by the graph
+// and record from its birth; everything else is a scrape-time bridge over
+// CumStats / FreezeStats, so no counter is double-maintained. Called once
+// per mounted graph (a server registers its graph on its own registry).
+func (g *Graph) RegisterMetrics(reg *obs.Registry) {
+	reg.AddHistogram(`aam_dyn_freeze_latency_ns{kind="incremental"}`, g.mat.histInc)
+	reg.AddHistogram(`aam_dyn_freeze_latency_ns{kind="full"}`, g.mat.histFull)
+	reg.AddHistogram("aam_dyn_mutation_batch_latency_ns", g.histApply)
+
+	reg.GaugeFunc("aam_dyn_epoch", func() float64 { return float64(g.Epoch()) })
+	reg.GaugeFunc("aam_dyn_vertices", func() float64 { return float64(g.N()) })
+	reg.GaugeFunc("aam_dyn_arcs", func() float64 { return float64(g.NumArcs()) })
+
+	cum := func(fn func(c CumStats) uint64) func() uint64 {
+		return func() uint64 { return fn(g.Stats()) }
+	}
+	reg.CounterFunc("aam_dyn_batches_total", cum(func(c CumStats) uint64 { return c.Batches }))
+	reg.CounterFunc("aam_dyn_mutations_applied_total", cum(func(c CumStats) uint64 { return c.Applied }))
+	reg.CounterFunc("aam_dyn_mutations_rejected_total", cum(func(c CumStats) uint64 { return c.Rejected }))
+	reg.CounterFunc("aam_dyn_compactions_total", cum(func(c CumStats) uint64 { return c.Compactions }))
+	reg.CounterFunc("aam_dyn_tx_committed_total", cum(func(c CumStats) uint64 { return c.Tx.TxCommitted }))
+	reg.CounterFunc("aam_dyn_tx_serialized_total", cum(func(c CumStats) uint64 { return c.Tx.TxSerialized }))
+	reg.CounterFunc("aam_dyn_tx_retries_total", cum(func(c CumStats) uint64 { return c.Tx.Retries }))
+	for r := stats.AbortReason(0); r < stats.NumAbortReasons; r++ {
+		r := r
+		reg.CounterFunc(fmt.Sprintf("aam_dyn_tx_aborts_total{reason=%q}", r),
+			cum(func(c CumStats) uint64 { return c.Tx.Aborts[r] }))
+	}
+	for m := 0; m < numMechs; m++ {
+		m := m
+		mech := aam.Mechanism(m).String()
+		reg.CounterFunc(fmt.Sprintf("aam_dyn_mech_batches_total{mech=%q}", mech),
+			cum(func(c CumStats) uint64 { return c.PerMech[m].Batches }))
+		reg.CounterFunc(fmt.Sprintf("aam_dyn_mech_aborts_total{mech=%q}", mech),
+			cum(func(c CumStats) uint64 { return c.PerMech[m].Aborts }))
+		reg.CounterFunc(fmt.Sprintf("aam_dyn_mech_retries_total{mech=%q}", mech),
+			cum(func(c CumStats) uint64 { return c.PerMech[m].Retries }))
+		reg.CounterFunc(fmt.Sprintf("aam_dyn_mech_serialized_total{mech=%q}", mech),
+			cum(func(c CumStats) uint64 { return c.PerMech[m].Serialized }))
+	}
+
+	fz := func(fn func(f FreezeStats) uint64) func() uint64 {
+		return func() uint64 { return fn(g.FreezeStats()) }
+	}
+	reg.CounterFunc(`aam_dyn_freezes_total{kind="incremental"}`, fz(func(f FreezeStats) uint64 { return f.Incremental }))
+	reg.CounterFunc(`aam_dyn_freezes_total{kind="full"}`, fz(func(f FreezeStats) uint64 { return f.FullRebuilds }))
+	reg.CounterFunc(`aam_dyn_freezes_total{kind="same_epoch"}`, fz(func(f FreezeStats) uint64 { return f.SameEpoch }))
+	reg.CounterFunc("aam_dyn_freeze_touched_vertices_total", fz(func(f FreezeStats) uint64 { return f.TouchedVertices }))
+	reg.CounterFunc("aam_dyn_freeze_spliced_arcs_total", fz(func(f FreezeStats) uint64 { return f.SplicedArcs }))
+	reg.CounterFunc("aam_dyn_freeze_reused_arcs_total", fz(func(f FreezeStats) uint64 { return f.ReusedArcs }))
+}

@@ -1,0 +1,84 @@
+package dyn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/obs"
+)
+
+// TestFreezeAndApplyHistograms: each Apply leaves a batch-latency sample,
+// each cache-missing freeze leaves a sample on the path it took.
+func TestFreezeAndApplyHistograms(t *testing.T) {
+	g := NewEmpty(16)
+	if _, err := g.Apply([]Mutation{AddEdge(0, 1), AddEdge(1, 2)}, TxConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.histApply.Count(); got != 1 {
+		t.Fatalf("apply histogram samples = %d, want 1", got)
+	}
+	g.Freeze()
+	if _, err := g.Apply([]Mutation{AddEdge(2, 3)}, TxConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	fs := g.FreezeStats()
+	if got := g.mat.histInc.Count(); got != fs.Incremental {
+		t.Errorf("incremental histogram samples = %d, want %d (FreezeStats.Incremental)", got, fs.Incremental)
+	}
+	if got := g.mat.histFull.Count(); got != fs.FullRebuilds {
+		t.Errorf("full-rebuild histogram samples = %d, want %d (FreezeStats.FullRebuilds)", got, fs.FullRebuilds)
+	}
+	if fs.Incremental+fs.FullRebuilds == 0 {
+		t.Error("no freeze path recorded at all")
+	}
+}
+
+// TestPerMechStats: batches attribute their outcomes to the mechanism
+// they ran under.
+func TestPerMechStats(t *testing.T) {
+	g := NewEmpty(8)
+	if _, err := g.Apply([]Mutation{AddEdge(0, 1)}, TxConfig{Mechanism: aam.MechLock}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Apply([]Mutation{AddEdge(1, 2)}, TxConfig{}); err != nil { // default HTM
+		t.Fatal(err)
+	}
+	c := g.Stats()
+	if c.PerMech[aam.MechLock].Batches != 1 {
+		t.Errorf("lock batches = %d, want 1", c.PerMech[aam.MechLock].Batches)
+	}
+	if c.PerMech[aam.MechHTM].Batches != 1 {
+		t.Errorf("htm batches = %d, want 1", c.PerMech[aam.MechHTM].Batches)
+	}
+}
+
+// TestRegisterMetrics: the bridge exposes the dyn series and they render.
+func TestRegisterMetrics(t *testing.T) {
+	g := NewEmpty(8)
+	if _, err := g.Apply([]Mutation{AddEdge(0, 1)}, TxConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	reg := obs.NewRegistry()
+	g.RegisterMetrics(reg)
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"aam_dyn_batches_total 1",
+		`aam_dyn_tx_aborts_total{reason="conflict"}`,
+		`aam_dyn_mech_batches_total{mech="htm"} 1`,
+		`aam_dyn_freeze_latency_ns_count{kind="full"}`,
+		"aam_dyn_mutation_batch_latency_ns_count 1",
+		"aam_dyn_epoch 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

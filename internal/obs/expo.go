@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4).
+//
+// Counters and gauges render as single sample lines; histograms render as
+// summaries — quantile-labeled series plus _sum and _count — which keeps
+// the series count per histogram constant instead of one series per
+// bucket. Series are grouped by base metric name (the name without its
+// label set) with one # TYPE line per group, as the format requires.
+
+// summaryQuantiles are the quantiles exposed per histogram.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// baseName returns the series name without its label set.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// withLabel appends one label="value" pair to a series name that may or
+// may not already carry labels.
+func withLabel(series, label string) string {
+	if strings.HasSuffix(series, "}") {
+		return series[:len(series)-1] + "," + label + "}"
+	}
+	return series + "{" + label + "}"
+}
+
+// suffixed inserts a name suffix before the label set ("x{a}" + "_sum" →
+// "x_sum{a}").
+func suffixed(series, suffix string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i] + suffix + series[i:]
+	}
+	return series + suffix
+}
+
+// WritePrometheus renders every series of the given registries in text
+// format. When a full series name is registered in several registries the
+// first registry wins — per-server registries are passed before Default,
+// so scoped instruments shadow rather than duplicate.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	var all []*registration
+	seen := make(map[string]bool)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, reg := range r.snapshot() {
+			if seen[reg.name] {
+				continue
+			}
+			seen[reg.name] = true
+			all = append(all, reg)
+		}
+	}
+	// Group by base name; sort groups and members for a deterministic,
+	// spec-conforming exposition (same-name series must be contiguous).
+	groups := make(map[string][]*registration)
+	var bases []string
+	for _, reg := range all {
+		b := baseName(reg.name)
+		if _, ok := groups[b]; !ok {
+			bases = append(bases, b)
+		}
+		groups[b] = append(groups[b], reg)
+	}
+	sort.Strings(bases)
+
+	bw := bufio.NewWriter(w)
+	for _, b := range bases {
+		members := groups[b]
+		sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
+		fmt.Fprintf(bw, "# TYPE %s %s\n", b, members[0].kind)
+		for _, reg := range members {
+			switch reg.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s %d\n", reg.name, reg.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s %d\n", reg.name, reg.g.Value())
+			case kindCounterFunc:
+				fmt.Fprintf(bw, "%s %d\n", reg.name, reg.cf())
+			case kindGaugeFunc:
+				fmt.Fprintf(bw, "%s %s\n", reg.name, strconv.FormatFloat(reg.gf(), 'g', -1, 64))
+			case kindHistogram:
+				s := reg.h.Snapshot()
+				for _, q := range summaryQuantiles {
+					label := fmt.Sprintf("quantile=%q", strconv.FormatFloat(q, 'g', -1, 64))
+					fmt.Fprintf(bw, "%s %d\n", withLabel(reg.name, label), s.Quantile(q))
+				}
+				fmt.Fprintf(bw, "%s %d\n", suffixed(reg.name, "_sum"), s.Sum)
+				fmt.Fprintf(bw, "%s %d\n", suffixed(reg.name, "_count"), s.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}

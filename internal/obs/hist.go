@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-bucketed (HDR-style) latency histogram.
+//
+// Values (nanoseconds, counts — any non-negative integer) are indexed by
+// their binary octave and a fixed number of sub-buckets per octave:
+// bucket 0 holds zeros, and a value v ≥ 1 with e = floor(log2 v) lands in
+// sub-bucket (v − 2^e) · 2^subBits / 2^e of octave e. With subBits = 5
+// (32 sub-buckets) the relative quantization error is at most 1/32 ≈ 3%,
+// the whole uint64 range fits in 2049 fixed buckets (16 KiB), and
+// recording is one shift/length computation plus two atomic adds — no
+// allocation, no locks, no comparisons against bucket boundaries.
+//
+// Snapshots are plain count vectors: mergeable across histograms (shards,
+// processes) by element-wise addition, and queryable for conservative
+// quantiles — Quantile returns the upper bound of the bucket holding the
+// requested rank (clamped to the observed maximum), so reported p99s
+// never understate the true percentile by more than the bucket width.
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histBuckets: bucket 0 for zeros, then 64 octaves × histSub.
+	histBuckets = 1 + 64*histSub
+)
+
+// Histogram is a concurrent log-bucketed histogram. Obtain instances from
+// a Registry (or NewHistogram); nil histograms are safe no-ops.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	e := bits.Len64(v) - 1
+	var f uint64
+	if e >= histSubBits {
+		f = (v - 1<<e) >> (e - histSubBits)
+	} else {
+		f = (v - 1<<e) << (histSubBits - e)
+	}
+	return 1 + e<<histSubBits + int(f)
+}
+
+// bucketUpper returns the largest value mapping to bucket idx.
+func bucketUpper(idx int) uint64 {
+	if idx <= 0 {
+		return 0
+	}
+	idx--
+	e := idx >> histSubBits
+	f := uint64(idx & (histSub - 1))
+	lo := uint64(1) << e
+	if e >= histSubBits {
+		return lo + (f+1)<<(e-histSubBits) - 1
+	}
+	return lo + f>>(histSubBits-e)
+}
+
+// Record adds one observation. Allocation-free: an index computation and
+// two (occasionally three) atomic operations.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordSince is a convenience for durations: Record(max(ns, 0)).
+func (h *Histogram) RecordSince(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Record(uint64(ns))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: a mergeable count
+// vector plus sum and max. Concurrent recording continues while a
+// snapshot is taken; buckets are loaded individually, so Count is always
+// exactly the sum of Counts even if it slightly trails the live total.
+type HistSnapshot struct {
+	Counts []uint64
+	Count  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Counts: make([]uint64, histBuckets)}
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Merge accumulates o into s (shard-level histograms into a machine
+// total). Bucket layouts are identical by construction.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by nearest rank: the
+// upper bound of the bucket containing the ⌈q·count⌉-th smallest
+// observation, clamped to the observed maximum. Conservative: never
+// below the true quantile, and above it by at most one bucket width
+// (≈3% relative).
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

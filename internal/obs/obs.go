@@ -1,0 +1,262 @@
+// Package obs is the telemetry subsystem: a dependency-free registry of
+// atomic counters, gauges and log-bucketed latency histograms, exposable
+// in Prometheus text format (expo.go) and queryable for p50/p99/p999
+// summaries (hist.go).
+//
+// The package exists to make production behavior observable without
+// disturbing it, so the recording paths obey two hard constraints, both
+// pinned by AllocsPerRun tests and the exact-gated
+// `executor.steady_allocs=0` bench metric:
+//
+//   - allocation-free: Counter.Add, Gauge.Set and Histogram.Record touch
+//     only preallocated memory (stripe arrays, fixed bucket arrays);
+//   - contention-cheap: counters are striped across padded cache lines,
+//     with the stripe picked from the caller's stack address — goroutine
+//     stacks live at least 2 KiB apart, so concurrent writers spread over
+//     stripes instead of bouncing one hot line.
+//
+// Series names follow the Prometheus convention and may carry a literal
+// label set: `aam_serve_requests_total{endpoint="bfs"}` registers one
+// series; registration is get-or-create, so hot paths can hold the
+// returned instrument and never touch the registry again.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numStripes is the counter stripe count (power of two).
+const numStripes = 8
+
+// stripeIdx derives a stripe from the address of a stack variable: cheap,
+// allocation-free, and stable per goroutine (stacks are ≥2 KiB apart), so
+// each concurrent writer settles on its own stripe.
+func stripeIdx() uint64 {
+	var b byte
+	return (uint64(uintptr(unsafe.Pointer(&b))) >> 6) & (numStripes - 1)
+}
+
+type counterStripe struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a cache line: stripes must not share one
+}
+
+// Counter is a monotonically increasing striped atomic counter. The zero
+// value is unusable; obtain counters from a Registry. Nil counters are
+// safe no-ops, so instrumented code needs no wiring checks.
+type Counter struct {
+	stripes [numStripes]counterStripe
+}
+
+// Add increments the counter by n. Allocation-free.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeIdx()].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.stripes {
+		t += c.stripes[i].n.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value (queue depths, sizes). Gauges
+// are written at low frequency, so a single atomic cell suffices.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Allocation-free.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value loads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// registration is one named series (or histogram family) in a registry.
+type registration struct {
+	name string // full series name, optionally with a literal {label} set
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	cf   func() uint64
+	gf   func() float64
+	h    *Histogram
+}
+
+// Registry holds named instruments. Registration is get-or-create: asking
+// for an existing name of the same kind returns the existing instrument
+// (function instruments are replaced, last wins), and a kind mismatch
+// panics — series names are a static vocabulary, so a clash is a bug.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*registration
+	order  []*registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*registration)}
+}
+
+// Default is the process-wide registry. Layers without an obvious owner
+// for their instruments (the sharded executor, whose executors are
+// per-query throwaways) register here; /metrics renders it alongside any
+// per-server registries.
+var Default = NewRegistry()
+
+// lookup returns the existing registration for name after checking the
+// kind, or nil when absent. Callers hold r.mu.
+func (r *Registry) lookup(name string, kind metricKind) *registration {
+	reg, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	if reg.kind != kind {
+		panic(fmt.Sprintf("obs: %q already registered as %s, requested %s", name, reg.kind, kind))
+	}
+	return reg
+}
+
+func (r *Registry) add(reg *registration) {
+	r.byName[reg.name] = reg
+	r.order = append(r.order, reg)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.lookup(name, kindCounter); reg != nil {
+		return reg.c
+	}
+	c := &Counter{}
+	r.add(&registration{name: name, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.lookup(name, kindGauge); reg != nil {
+		return reg.g
+	}
+	g := &Gauge{}
+	r.add(&registration{name: name, kind: kindGauge, g: g})
+	return g
+}
+
+// CounterFunc registers a counter series whose value is read at scrape
+// time — the bridge for counters that already exist elsewhere (server
+// request totals, dyn lifetime stats) and must not be double-counted.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.lookup(name, kindCounterFunc); reg != nil {
+		reg.cf = fn
+		return
+	}
+	r.add(&registration{name: name, kind: kindCounterFunc, cf: fn})
+}
+
+// GaugeFunc registers a gauge series read at scrape time (queue depths,
+// cache occupancy).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.lookup(name, kindGaugeFunc); reg != nil {
+		reg.gf = fn
+		return
+	}
+	r.add(&registration{name: name, kind: kindGaugeFunc, gf: fn})
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.lookup(name, kindHistogram); reg != nil {
+		return reg.h
+	}
+	h := NewHistogram()
+	r.add(&registration{name: name, kind: kindHistogram, h: h})
+	return h
+}
+
+// AddHistogram registers a pre-built histogram under name (last wins) —
+// used by owners that construct instruments before a registry exists,
+// like dyn.Graph, whose freeze histograms record from birth and are
+// registered only when a server mounts the graph.
+func (r *Registry) AddHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.lookup(name, kindHistogram); reg != nil {
+		reg.h = h
+		return
+	}
+	r.add(&registration{name: name, kind: kindHistogram, h: h})
+}
+
+// snapshot copies the registration list for lock-free rendering.
+func (r *Registry) snapshot() []*registration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*registration, len(r.order))
+	copy(out, r.order)
+	return out
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileOracle checks the quantile estimates against a
+// sorted-sample oracle across value distributions. The histogram's
+// contract is conservative-and-tight: never below the nearest-rank
+// sample, and above it by at most one sub-bucket (1/32 relative).
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() uint64{
+		"uniform":     func() uint64 { return uint64(rng.Intn(1_000_000)) + 1 },
+		"exponential": func() uint64 { return uint64(rng.ExpFloat64()*50_000) + 1 },
+		"lognormal":   func() uint64 { return uint64(math.Exp(rng.NormFloat64()*2+8)) + 1 },
+		"constant":    func() uint64 { return 4096 },
+		"bimodal": func() uint64 {
+			if rng.Intn(10) == 0 {
+				return uint64(rng.Intn(1_000_000)) + 10_000_000
+			}
+			return uint64(rng.Intn(1000)) + 1
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram()
+			const n = 20_000
+			sample := make([]uint64, n)
+			for i := range sample {
+				v := draw()
+				sample[i] = v
+				h.Record(v)
+			}
+			slices.Sort(sample)
+			s := h.Snapshot()
+			if s.Count != n {
+				t.Fatalf("count = %d, want %d", s.Count, n)
+			}
+			if s.Max != sample[n-1] {
+				t.Fatalf("max = %d, want %d", s.Max, sample[n-1])
+			}
+			for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+				rank := int(math.Ceil(q * n))
+				if rank < 1 {
+					rank = 1
+				}
+				oracle := sample[rank-1]
+				got := s.Quantile(q)
+				if got < oracle {
+					t.Errorf("q%.3f = %d below oracle %d", q, got, oracle)
+				}
+				// One sub-bucket of slack: upper bound ≤ oracle·(1+1/32),
+				// +1 for the integer buckets of the lowest octaves.
+				if limit := oracle + oracle/histSub + 1; got > limit {
+					t.Errorf("q%.3f = %d exceeds oracle %d by more than a bucket (limit %d)",
+						q, got, oracle, limit)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramBucketRoundTrip: every value maps into a bucket whose
+// bounds contain it, across the whole dynamic range.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 2, 3, 5, 7, 31, 32, 33, 100, 1023, 1024, 4095, 1 << 20, 1<<40 + 12345, 1<<62 + 999}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		vals = append(vals, uint64(rng.Int63()))
+	}
+	for _, v := range vals {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("bucketUpper(bucketOf(%d)) = %d < value", v, up)
+		}
+		if idx > 0 {
+			if lowUp := bucketUpper(idx - 1); lowUp >= v {
+				t.Fatalf("value %d fits bucket %d but previous bucket's upper is %d", v, idx, lowUp)
+			}
+		}
+	}
+}
+
+// TestSnapshotMerge: merging per-shard snapshots equals one histogram fed
+// with the concatenated stream, bucket by bucket.
+func TestSnapshotMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 22))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := all.Snapshot()
+	if !slices.Equal(merged.Counts, want.Counts) {
+		t.Fatal("merged bucket counts differ from the concatenated stream")
+	}
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged (count %d sum %d max %d) != concatenated (count %d sum %d max %d)",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q%.3f differs after merge", q)
+		}
+	}
+}
+
+// TestEmptyAndNil: zero-observation and nil instruments are inert.
+func TestEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	h.Record(5) // no-op, no panic
+	if h.Count() != 0 || h.Snapshot().Quantile(0.99) != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	if got := NewHistogram().Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	var c *Counter
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge not inert")
+	}
+}
+
+// TestConcurrentRecording stresses counters and histograms from many
+// goroutines (run under -race in CI) and checks nothing is lost.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total")
+	h := r.Histogram("stress_ns")
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Record(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestRecordPathAllocs pins the hot-path contract: recording allocates
+// nothing. The executor's exact-gated steady_allocs=0 bench metric relies
+// on this holding with telemetry enabled.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("allocs_total")
+	g := r.Gauge("allocs_gauge")
+	h := r.Histogram("allocs_ns")
+	if avg := testing.AllocsPerRun(200, func() { c.Add(3) }); avg != 0 {
+		t.Fatalf("Counter.Add allocates %.1f objects", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { g.Set(9) }); avg != 0 {
+		t.Fatalf("Gauge.Set allocates %.1f objects", avg)
+	}
+	var v uint64
+	if avg := testing.AllocsPerRun(200, func() { h.Record(v); v += 1013 }); avg != 0 {
+		t.Fatalf("Histogram.Record allocates %.1f objects", avg)
+	}
+}
+
+// TestRegistryGetOrCreate: same name returns the same instrument; kind
+// clashes panic.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x_total") != r.Counter("x_total") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Histogram("h_ns") != r.Histogram("h_ns") {
+		t.Fatal("Histogram not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+var seriesLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestWritePrometheus renders one registry of every kind and validates the
+// output line by line: TYPE comments, parseable samples, contiguous
+// same-name groups, and label merging on summaries.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{endpoint="bfs"}`).Add(7)
+	r.Counter(`req_total{endpoint="cc"}`).Add(2)
+	r.Gauge("depth").Set(3)
+	r.CounterFunc("cf_total", func() uint64 { return 42 })
+	r.GaugeFunc("gf", func() float64 { return 1.5 })
+	h := r.Histogram(`lat_ns{endpoint="bfs"}`)
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	types := map[string]string{}
+	var series int
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		m := seriesLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		series++
+	}
+	for base, kind := range map[string]string{
+		"req_total": "counter", "depth": "gauge", "cf_total": "counter",
+		"gf": "gauge", "lat_ns": "summary",
+	} {
+		if types[base] != kind {
+			t.Errorf("TYPE %s = %q, want %q", base, types[base], kind)
+		}
+	}
+	// 2 counters + gauge + counterfunc + gaugefunc + (4 quantiles + sum + count).
+	if want := 2 + 1 + 1 + 1 + 6; series != want {
+		t.Errorf("series = %d, want %d\n%s", series, want, out)
+	}
+	for _, frag := range []string{
+		`req_total{endpoint="bfs"} 7`,
+		`lat_ns{endpoint="bfs",quantile="0.5"}`,
+		`lat_ns_sum{endpoint="bfs"}`,
+		`lat_ns_count{endpoint="bfs"} 100`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q\n%s", frag, out)
+		}
+	}
+}
+
+// TestWritePrometheusShadowing: the first registry wins on a full-name
+// clash, so per-server registries shadow Default instead of duplicating.
+func TestWritePrometheusShadowing(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("dup_total").Add(1)
+	b.Counter("dup_total").Add(99)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "dup_total 1"); got != 1 {
+		t.Fatalf("shadowed series rendered %d times:\n%s", got, buf.String())
+	}
+	if strings.Contains(buf.String(), "dup_total 99") {
+		t.Fatalf("second registry's clashing series leaked:\n%s", buf.String())
+	}
+}
+
+// TestCounterStriping sanity-checks that concurrent adders do not corrupt
+// and that Value sums all stripes written from different goroutines.
+func TestCounterStriping(t *testing.T) {
+	c := &Counter{}
+	var wg sync.WaitGroup
+	for i := 0; i < numStripes*4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != numStripes*4*1000 {
+		t.Fatalf("striped counter = %d, want %d", got, numStripes*4*1000)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) * 97)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	_ = fmt.Sprint(c.Value())
+}

@@ -261,20 +261,44 @@ func TestETagConditionalGET(t *testing.T) {
 		t.Fatalf("If-None-Match: * on invalid request got %d, want 400", respStar.StatusCode)
 	}
 
-	// /stats: identical back-to-back polls 304; activity invalidates.
-	respS, _ := get(t, ts.URL+"/stats", nil)
-	tagS := respS.Header.Get("ETag")
-	respS2, bodyS2 := get(t, ts.URL+"/stats", map[string]string{"If-None-Match": tagS})
-	if respS2.StatusCode != http.StatusNotModified || len(bodyS2) != 0 {
-		t.Fatalf("/stats conditional poll got %d, want 304", respS2.StatusCode)
+	// /stats and /metrics are uncacheable live reads: no ETag, no-store,
+	// and a conditional poll must get a fresh 200 with moving counters —
+	// never a 304 that freezes latency/counter fields (the old
+	// epoch-derived-tag bug).
+	for _, path := range []string{"/stats", "/metrics"} {
+		respS, bodyS := get(t, ts.URL+path, nil)
+		if tag := respS.Header.Get("ETag"); tag != "" {
+			t.Fatalf("%s carries ETag %q, want none", path, tag)
+		}
+		if cc := respS.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+		respS2, bodyS2 := get(t, ts.URL+path, map[string]string{"If-None-Match": `W/"anything"`})
+		if respS2.StatusCode != http.StatusOK || len(bodyS2) == 0 {
+			t.Fatalf("%s conditional poll got %d with %d body bytes, want full 200", path, respS2.StatusCode, len(bodyS2))
+		}
+		if len(bodyS) == 0 {
+			t.Fatalf("%s returned empty body", path)
+		}
 	}
-	get(t, ts.URL+"/query/cc", nil) // activity: queries counter moves
-	respS3, _ := get(t, ts.URL+"/stats", map[string]string{"If-None-Match": tagS})
-	if respS3.StatusCode != http.StatusOK {
-		t.Fatalf("/stats after activity got %d, want fresh 200", respS3.StatusCode)
+	// Counters keep moving between polls (requests_total counts the polls
+	// themselves).
+	var st1, st2 struct {
+		Requests uint64 `json:"requests"`
 	}
-	if n := s.notModified.Load(); n < 4 {
-		t.Fatalf("etag_304 counter = %d, want >= 4", n)
+	_, b1 := get(t, ts.URL+"/stats", nil)
+	_, b2 := get(t, ts.URL+"/stats", nil)
+	if err := json.Unmarshal(b1, &st1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Requests <= st1.Requests {
+		t.Fatalf("back-to-back /stats requests counters %d then %d, want strictly increasing", st1.Requests, st2.Requests)
+	}
+	if n := s.notModified.Load(); n < 3 {
+		t.Fatalf("etag_304 counter = %d, want >= 3 (query-path 304s)", n)
 	}
 }
 

@@ -41,6 +41,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -55,6 +56,7 @@ import (
 	"aamgo/internal/dyn"
 	"aamgo/internal/exec"
 	"aamgo/internal/graph"
+	"aamgo/internal/obs"
 	"aamgo/internal/run"
 	"aamgo/internal/shard"
 	"aamgo/internal/stats"
@@ -88,6 +90,12 @@ type Config struct {
 	// they must respond even when every pool slot is busy, which is
 	// exactly when a profile is wanted.
 	EnablePprof bool
+	// SlowlogK bounds the /debug/slowlog ring: the K slowest query spans
+	// are retained (default 32).
+	SlowlogK int
+	// Logger receives structured request and lifecycle logs (per-request
+	// lines at Debug). Nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) resolve() (Config, exec.MachineProfile, error) {
@@ -122,6 +130,12 @@ func (c Config) resolve() (Config, exec.MachineProfile, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.SlowlogK <= 0 {
+		c.SlowlogK = 32
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c, prof, nil
 }
 
@@ -136,6 +150,15 @@ type Server struct {
 
 	cache *queryCache // nil when Config.CacheBytes < 0
 	boot  uint64      // per-instance ETag nonce (epochs restart every boot)
+
+	// Telemetry: a per-instance registry (rendered by /metrics alongside
+	// obs.Default), per-endpoint instruments, the slow-query log and the
+	// structured logger.
+	reg           *obs.Registry
+	ep            map[string]*endpointMetrics
+	poolSaturated *obs.Counter
+	slow          *slowlog
+	log           *slog.Logger
 
 	requests    atomic.Uint64
 	queries     atomic.Uint64 // computed queries (cache hits and 304s excluded)
@@ -162,23 +185,41 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 	if cfg.CacheBytes > 0 {
 		s.cache = newQueryCache(cfg.CacheBytes)
 	}
-	s.mux.HandleFunc("/edges", s.counted(s.pooled(s.handleEdges)))
-	s.mux.HandleFunc("/vertices", s.counted(s.pooled(s.handleVertices)))
+	s.reg = obs.NewRegistry()
+	s.slow = newSlowlog(cfg.SlowlogK)
+	s.log = cfg.Logger
+	s.initMetrics([]string{
+		"edges", "vertices", "graph", "bfs", "cc", "pagerank",
+		"sssp", "mst", "coloring", "stats", "metrics", "slowlog",
+	})
+	g.RegisterMetrics(s.reg)
+	s.mux.HandleFunc("/edges", s.instrumented("edges", s.pooled(s.handleEdges)))
+	s.mux.HandleFunc("/vertices", s.instrumented("vertices", s.pooled(s.handleVertices)))
 	// GET endpoints whose body is a pure function of (epoch, params) run
 	// behind the epoch-keyed cache: ETag short-circuit, then LRU replay,
 	// then singleflight-collapsed computation inside the worker pool.
-	for path, h := range map[string]http.HandlerFunc{
-		"/graph":          s.handleGraph,
-		"/query/bfs":      s.handleBFS,
-		"/query/cc":       s.handleCC,
-		"/query/pagerank": s.handlePageRank,
-		"/query/sssp":     s.handleSSSP,
-		"/query/mst":      s.handleMST,
-		"/query/coloring": s.handleColoring,
+	for _, ep := range []struct {
+		path, name string
+		h          http.HandlerFunc
+	}{
+		{"/graph", "graph", s.handleGraph},
+		{"/query/bfs", "bfs", s.handleBFS},
+		{"/query/cc", "cc", s.handleCC},
+		{"/query/pagerank", "pagerank", s.handlePageRank},
+		{"/query/sssp", "sssp", s.handleSSSP},
+		{"/query/mst", "mst", s.handleMST},
+		{"/query/coloring", "coloring", s.handleColoring},
 	} {
-		s.mux.HandleFunc(path, s.counted(s.cachedGET(s.pooled(h))))
+		s.mux.HandleFunc(ep.path, s.instrumented(ep.name, s.cachedGET(s.pooled(ep.h))))
 	}
-	s.mux.HandleFunc("/stats", s.counted(s.statsETag(s.pooled(s.handleStats))))
+	// /stats, /metrics and /debug/slowlog are uncacheable live reads:
+	// no ETag, Cache-Control: no-store, so a poller can never observe
+	// counters frozen behind a 304. /metrics and /debug/slowlog also
+	// bypass the worker pool (like pprof) — they must answer exactly when
+	// every pool slot is busy.
+	s.mux.HandleFunc("/stats", s.instrumented("stats", s.pooled(s.handleStats)))
+	s.mux.HandleFunc("/metrics", s.instrumented("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/debug/slowlog", s.instrumented("slowlog", s.handleSlowlog))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -192,27 +233,24 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 // Handler returns the daemon's HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// counted tallies every request once, at the outermost layer, so
-// cache-served and 304 responses are visible in /stats alongside computed
-// ones.
-func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		h(w, r)
-	}
-}
-
 // pooled gates h behind the bounded worker pool. A request whose client
-// goes away while queued is dropped without running.
+// goes away while queued is dropped without running. Requests that find
+// every slot busy are counted as pool saturation before they wait.
 func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-			h(w, r)
-		case <-r.Context().Done():
-			http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
+		default:
+			s.poolSaturated.Inc()
+			select {
+			case s.sem <- struct{}{}:
+			case <-r.Context().Done():
+				http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
+				return
+			}
 		}
+		defer func() { <-s.sem }()
+		h(w, r)
 	}
 }
 
@@ -252,11 +290,15 @@ func (s *Server) cachedGET(inner http.HandlerFunc) http.HandlerFunc {
 		etag := key.etag(s.boot)
 		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
 			s.notModified.Add(1)
+			spanOf(r).Outcome = "304"
 			w.Header().Set("ETag", etag)
+			w.Header().Set("X-Cache", "304")
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		if s.cache == nil {
+			spanOf(r).Outcome = "bypass"
+			w.Header().Set("X-Cache", "bypass")
 			rec := newBodyRecorder()
 			inner(rec, r)
 			// Tag only epoch-stable 200s (same rule as the caching leader):
@@ -274,6 +316,8 @@ func (s *Server) cachedGET(inner http.HandlerFunc) http.HandlerFunc {
 			var body []byte
 			body, f, leader = s.cache.acquire(key)
 			if body != nil {
+				spanOf(r).Outcome = "hit"
+				w.Header().Set("X-Cache", "hit")
 				h := make(http.Header)
 				h.Set("Content-Type", "application/json")
 				s.replay(w, h, http.StatusOK, body, etag)
@@ -296,6 +340,8 @@ func (s *Server) cachedGET(inner http.HandlerFunc) http.HandlerFunc {
 				if f.cached {
 					tag = etag
 				}
+				spanOf(r).Outcome = "collapsed"
+				w.Header().Set("X-Cache", "collapsed")
 				s.replay(w, f.header, f.status, f.body, tag)
 				return
 			case <-r.Context().Done():
@@ -327,6 +373,7 @@ func (s *Server) cachedGET(inner http.HandlerFunc) http.HandlerFunc {
 		if f.cached {
 			tag = etag
 		}
+		w.Header().Set("X-Cache", "computed")
 		s.replay(w, rec.header, rec.status, rec.body, tag)
 	}
 }
@@ -343,41 +390,6 @@ func (s *Server) replay(w http.ResponseWriter, header http.Header, status int, b
 	}
 	w.WriteHeader(status)
 	w.Write(body)
-}
-
-// statsETag gives /stats conditional-GET support. The tag witnesses the
-// graph epoch and every activity counter a poller monitors — mutations,
-// computed queries, rejections, cache traffic, freeze work — but not the
-// self-referential ones (uptime, the raw request count and etag_304,
-// which the conditional polls themselves bump), so back-to-back polls of
-// an idle server cost no body.
-func (s *Server) statsETag(inner http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			inner(w, r)
-			return
-		}
-		var cacheActivity uint64
-		if s.cache != nil {
-			cs := s.cache.stats()
-			cacheActivity = cs.Hits + cs.Misses + cs.Collapsed + cs.Evictions
-		}
-		fz := s.g.FreezeStats()
-		// Weak tag: identically-tagged bodies are semantically equivalent
-		// (same graph state and activity) but not byte-identical —
-		// uptime_ns always moves.
-		etag := fmt.Sprintf("W/\"s%d-%d-%d-%d-%d-%d-%d\"", s.boot, s.g.Epoch(),
-			s.mutations.Load(), s.queries.Load(), s.rejected.Load(),
-			cacheActivity, fz.Freezes+fz.FullRebuilds)
-		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
-			s.notModified.Add(1)
-			w.Header().Set("ETag", etag)
-			w.WriteHeader(http.StatusNotModified)
-			return
-		}
-		w.Header().Set("ETag", etag)
-		inner(w, r)
-	}
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -455,9 +467,14 @@ func (s *Server) shardCfg(r *http.Request) (shard.Config, int, error) {
 	return shard.Config{Shards: n, BatchSize: s.cfg.C, Mechanism: mech, Part: part}, n, nil
 }
 
-// shardSummary renders the messaging counters of a sharded run.
-func shardSummary(cfg shard.Config, res shard.Result) map[string]any {
+// shardSummary renders the messaging counters of a sharded run and
+// copies them into the request's trace span.
+func (s *Server) shardSummary(r *http.Request, cfg shard.Config, res shard.Result) map[string]any {
 	tot := res.Totals()
+	sp := spanOf(r)
+	sp.Shards = cfg.Shards
+	sp.RemoteUnits = tot.RemoteUnitsSent
+	sp.RemoteBatches = tot.RemoteBatchesSent
 	return map[string]any{
 		"shards":         cfg.Shards,
 		"part":           cfg.Part.String(),
@@ -466,6 +483,34 @@ func shardSummary(cfg shard.Config, res shard.Result) map[string]any {
 		"remote_units":   tot.RemoteUnitsSent,
 		"remote_batches": tot.RemoteBatchesSent,
 	}
+}
+
+// timedFreeze materializes the snapshot, charging the materialization to
+// the request's trace span (repeated freezes of a cached epoch cost ~0
+// and honestly report it).
+func (s *Server) timedFreeze(r *http.Request, snap *dyn.Snapshot) *graph.Graph {
+	t0 := time.Now()
+	f := snap.Freeze()
+	sp := spanOf(r)
+	sp.FreezeNS += time.Since(t0).Nanoseconds()
+	sp.Epoch = snap.Epoch()
+	return f
+}
+
+// writeQuery finishes a query response: under ?trace=1 the request's
+// span is embedded as out["trace"]. Traced and untraced variants cache
+// under different keys (trace=1 is a cache-key parameter), and a replayed
+// traced body carries the span of the request that computed it — the
+// X-Cache header describes the replay itself.
+func (s *Server) writeQuery(w http.ResponseWriter, r *http.Request, out map[string]any) {
+	if r.URL.Query().Get("trace") == "1" {
+		sp := spanOf(r)
+		if wall, ok := out["wall_time_ns"].(int64); ok {
+			sp.ComputeNS = wall
+		}
+		out["trace"] = sp.traceView()
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // MechByName resolves the wire names of the five isolation mechanisms.
@@ -590,7 +635,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.g.Snapshot()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeQuery(w, r, map[string]any{
 		"n":          snap.N(),
 		"arcs":       snap.NumArcs(),
 		"delta_arcs": snap.DeltaArcs(),
@@ -635,7 +680,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	f := snap.Freeze()
+	f := s.timedFreeze(r, snap)
 	if shards > 1 {
 		t0 := time.Now()
 		res, err := shard.BFS(f, src, scfg)
@@ -656,13 +701,13 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 			"n":            f.N,
 			"reached":      reached,
 			"levels":       res.Levels,
-			"sharded":      shardSummary(scfg, res.Result),
+			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		}
 		if r.URL.Query().Get("full") == "1" {
 			out["parents"] = res.Parents
 		}
-		s.writeJSON(w, http.StatusOK, out)
+		s.writeQuery(w, r, out)
 		return
 	}
 	b := algo.NewBFS(f, 1, algo.BFSConfig{
@@ -691,7 +736,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("full") == "1" {
 		out["parents"] = parents
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeQuery(w, r, out)
 }
 
 func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
@@ -707,7 +752,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if shards > 1 {
 		snap := s.g.Snapshot()
 		t0 := time.Now()
-		res, err := shard.Components(snap.Freeze(), scfg)
+		res, err := shard.Components(s.timedFreeze(r, snap), scfg)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
@@ -722,13 +767,13 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 			"n":            snap.N(),
 			"epoch":        snap.Epoch(),
 			"rounds":       res.Rounds,
-			"sharded":      shardSummary(scfg, res.Result),
+			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		}
 		if r.URL.Query().Get("full") == "1" {
 			out["labels"] = res.Labels
 		}
-		s.writeJSON(w, http.StatusOK, out)
+		s.writeQuery(w, r, out)
 		return
 	}
 	t0 := time.Now()
@@ -744,7 +789,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if labels != nil {
 		out["labels"] = labels
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeQuery(w, r, out)
 }
 
 type rankedVertex struct {
@@ -784,7 +829,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.g.Snapshot()
-	f := snap.Freeze()
+	f := s.timedFreeze(r, snap)
 	// Validate an explicit top against the graph size on *every* path:
 	// topRanked clamps defensively, but a request for more vertices than
 	// the graph has is a caller error, not a truncation.
@@ -800,12 +845,12 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.queries.Add(1)
-		s.writeJSON(w, http.StatusOK, map[string]any{
+		s.writeQuery(w, r, map[string]any{
 			"iters":        iters,
 			"damping":      damping,
 			"epoch":        snap.Epoch(),
 			"top":          topRanked(res.Ranks, top),
-			"sharded":      shardSummary(scfg, res.Result),
+			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		})
 		return
@@ -819,7 +864,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	ranks := p.Ranks(m)
 	s.queries.Add(1)
 
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeQuery(w, r, map[string]any{
 		"iters":           iters,
 		"damping":         damping,
 		"epoch":           snap.Epoch(),
@@ -914,7 +959,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	f := snap.Freeze()
+	f := s.timedFreeze(r, snap)
 	wg := weightedView(f, wseed)
 	out := map[string]any{
 		"src":   src,
@@ -933,7 +978,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		dists = res.Dists
 		out["buckets"] = res.Buckets
 		out["delta"] = res.Delta
-		out["sharded"] = shardSummary(scfg, res.Result)
+		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
 	} else {
 		a := algo.NewSSSP(wg, 1)
@@ -955,7 +1000,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("full") == "1" {
 		out["dists"] = signedDists(dists)
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeQuery(w, r, out)
 }
 
 func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
@@ -974,7 +1019,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.g.Snapshot()
-	f := snap.Freeze()
+	f := s.timedFreeze(r, snap)
 	out := map[string]any{
 		"n":     f.N,
 		"epoch": snap.Epoch(),
@@ -985,7 +1030,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		out["edges"] = 0
 		out["components"] = 0
 		s.queries.Add(1)
-		s.writeJSON(w, http.StatusOK, out)
+		s.writeQuery(w, r, out)
 		return
 	}
 	wg := weightedView(f, wseed)
@@ -1001,7 +1046,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		out["weight"] = res.Weight
 		out["edges"] = res.Edges
 		out["rounds"] = res.Rounds
-		out["sharded"] = shardSummary(scfg, res.Result)
+		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
 	} else {
 		b := algo.NewBoruvka(wg)
@@ -1025,7 +1070,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("full") == "1" {
 		out["labels"] = labels
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeQuery(w, r, out)
 }
 
 func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
@@ -1051,7 +1096,7 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.g.Snapshot()
-	f := snap.Freeze()
+	f := s.timedFreeze(r, snap)
 	out := map[string]any{
 		"n":     f.N,
 		"epoch": snap.Epoch(),
@@ -1068,13 +1113,13 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 		out["colors"] = res.Used
 		out["rounds"] = res.Rounds
 		out["seed"] = seed
-		out["sharded"] = shardSummary(scfg, res.Result)
+		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
 	} else {
 		if f.N == 0 {
 			out["colors"] = 0
 			s.queries.Add(1)
-			s.writeJSON(w, http.StatusOK, out)
+			s.writeQuery(w, r, out)
 			return
 		}
 		c := algo.NewColoring(f)
@@ -1091,7 +1136,7 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("full") == "1" {
 		out["per_vertex"] = colors
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeQuery(w, r, out)
 }
 
 type statsResponse struct {
@@ -1108,6 +1153,9 @@ type statsResponse struct {
 	TxAborts     uint64            `json:"tx_aborts"`
 	TxSerialized uint64            `json:"tx_serialized"`
 	AbortReasons map[string]uint64 `json:"abort_reasons"`
+	// Latency maps endpoint → percentile summary (endpoints with traffic
+	// only). Percentiles are conservative upper bounds (≤3% over).
+	Latency map[string]latencySummary `json:"latency"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1115,6 +1163,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	// Live counters must never freeze behind a conditional GET: no ETag,
+	// and no intermediary may serve a stale copy.
+	w.Header().Set("Cache-Control", "no-store")
 	gs := s.g.Stats()
 	reasons := make(map[string]uint64, stats.NumAbortReasons)
 	for reason := stats.AbortReason(0); reason < stats.NumAbortReasons; reason++ {
@@ -1133,6 +1184,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TxAborts:     gs.Tx.TotalAborts(),
 		TxSerialized: gs.Tx.TxSerialized,
 		AbortReasons: reasons,
+		Latency:      s.latencySummaries(),
 	}
 	if s.cache != nil {
 		cs := s.cache.stats()

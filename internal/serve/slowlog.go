@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// slowEntry is one retained slow query, the JSON shape served by
+// GET /debug/slowlog.
+type slowEntry struct {
+	Endpoint      string `json:"endpoint"`
+	Path          string `json:"path"`
+	Query         string `json:"query,omitempty"`
+	UnixNS        int64  `json:"unix_ns"`
+	WallNS        int64  `json:"wall_ns"`
+	FreezeNS      int64  `json:"freeze_ns"`
+	ComputeNS     int64  `json:"compute_ns"`
+	Epoch         uint64 `json:"epoch"`
+	Outcome       string `json:"outcome"`
+	Status        int    `json:"status"`
+	Shards        int    `json:"shards,omitempty"`
+	RemoteUnits   uint64 `json:"remote_units,omitempty"`
+	RemoteBatches uint64 `json:"remote_batches,omitempty"`
+}
+
+// slowlog retains the top-K slowest query spans. The fast path is one
+// atomic load: once the log is full, requests faster than the current
+// minimum return without taking the lock, so steady-state traffic (whose
+// latencies sit far below the retained tail) pays nothing.
+type slowlog struct {
+	k    int
+	full atomic.Bool  // set once k entries are retained
+	min  atomic.Int64 // wall-time admission threshold once full
+
+	mu      sync.Mutex
+	entries []slowEntry
+}
+
+func newSlowlog(k int) *slowlog {
+	return &slowlog{k: k, entries: make([]slowEntry, 0, k)}
+}
+
+// record offers a completed span to the log.
+func (l *slowlog) record(sp *span) {
+	if l.full.Load() && sp.WallNS <= l.min.Load() {
+		return
+	}
+	e := slowEntry{
+		Endpoint:      sp.Endpoint,
+		Path:          sp.Path,
+		Query:         sp.Query,
+		UnixNS:        sp.Start.UnixNano(),
+		WallNS:        sp.WallNS,
+		FreezeNS:      sp.FreezeNS,
+		ComputeNS:     sp.ComputeNS,
+		Epoch:         sp.Epoch,
+		Outcome:       sp.Outcome,
+		Status:        sp.Status,
+		Shards:        sp.Shards,
+		RemoteUnits:   sp.RemoteUnits,
+		RemoteBatches: sp.RemoteBatches,
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.k {
+		l.entries = append(l.entries, e)
+		if len(l.entries) == l.k {
+			l.min.Store(l.minLocked())
+			l.full.Store(true)
+		}
+		return
+	}
+	if e.WallNS <= l.min.Load() {
+		return // raced below the threshold between check and lock
+	}
+	mi := 0
+	for i := range l.entries {
+		if l.entries[i].WallNS < l.entries[mi].WallNS {
+			mi = i
+		}
+	}
+	l.entries[mi] = e
+	l.min.Store(l.minLocked())
+}
+
+func (l *slowlog) minLocked() int64 {
+	m := l.entries[0].WallNS
+	for _, e := range l.entries[1:] {
+		if e.WallNS < m {
+			m = e.WallNS
+		}
+	}
+	return m
+}
+
+// snapshot returns the retained entries, slowest first.
+func (l *slowlog) snapshot() []slowEntry {
+	l.mu.Lock()
+	out := make([]slowEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].WallNS > out[j].WallNS })
+	return out
+}

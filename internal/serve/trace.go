@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// span is the per-request trace record: where the request's time went
+// (freeze vs compute), which epoch it saw, how the cache treated it, and
+// what the sharded executor moved on its behalf. Spans are filled in
+// place by the middleware and handlers along one request's path, embedded
+// into the response body under ?trace=1, and fed to the slowlog.
+type span struct {
+	Endpoint string
+	Path     string
+	Query    string
+	Start    time.Time
+
+	Epoch   uint64
+	Outcome string // computed | hit | collapsed | 304 | bypass
+
+	FreezeNS  int64
+	ComputeNS int64
+	WallNS    int64
+
+	Shards        int
+	RemoteUnits   uint64
+	RemoteBatches uint64
+
+	Status int
+}
+
+// traceView renders the span for JSON embedding. The trace describes the
+// computation that produced the body: on a cache replay of a ?trace=1
+// body the embedded trace is the leader's, while the X-Cache response
+// header always describes this response.
+func (sp *span) traceView() map[string]any {
+	v := map[string]any{
+		"endpoint":   sp.Endpoint,
+		"epoch":      sp.Epoch,
+		"outcome":    sp.Outcome,
+		"freeze_ns":  sp.FreezeNS,
+		"compute_ns": sp.ComputeNS,
+	}
+	if sp.Shards > 0 {
+		v["shards"] = sp.Shards
+		v["remote_units"] = sp.RemoteUnits
+		v["remote_batches"] = sp.RemoteBatches
+	}
+	return v
+}
+
+type spanKey struct{}
+
+// withSpan attaches sp to the request's context.
+func withSpan(r *http.Request, sp *span) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), spanKey{}, sp))
+}
+
+// spanOf returns the request's span; handlers invoked outside the
+// instrumented middleware (direct tests) get a throwaway so span writes
+// never need guarding.
+func spanOf(r *http.Request) *span {
+	if sp, ok := r.Context().Value(spanKey{}).(*span); ok {
+		return sp
+	}
+	return &span{}
+}

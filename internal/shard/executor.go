@@ -3,6 +3,7 @@ package shard
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aamgo/internal/aam"
 	"aamgo/internal/graph"
@@ -210,6 +211,8 @@ func (ex *Executor) Parallel(fn func(w *Worker)) {
 // buffered, no batch undelivered. Batch application may itself spawn
 // (OnCommit chains), so the loop re-flushes until a clean pass.
 func (ex *Executor) Drain() {
+	start := time.Now()
+	defer func() { metDrainLatency.RecordSince(int64(time.Since(start))) }()
 	ex.epochs++
 	for {
 		ex.Parallel(func(w *Worker) { w.FlushAll() })
@@ -312,6 +315,9 @@ func (w *Worker) flush(dst int) {
 	t.inbox.mu.Unlock()
 	w.stats.RemoteBatchesSent++
 	w.stats.RemoteUnitsSent += uint64(len(batch))
+	metRemoteBatchesSent.Inc()
+	metRemoteUnitsSent.Add(uint64(len(batch)))
+	metFlushBatchUnits.Record(uint64(len(batch)))
 }
 
 // getBuf returns an empty message buffer: the worker's local cache first,
@@ -322,12 +328,15 @@ func (w *Worker) getBuf(hint int) []message {
 		b := w.cache[n-1]
 		w.cache[n-1] = nil
 		w.cache = w.cache[:n-1]
+		metBufferRecycles.Inc()
 		return b[:0]
 	}
 	if b := w.S.ex.pool.get(); b != nil {
+		metBufferRecycles.Inc()
 		return b[:0]
 	}
 	w.stats.BufferAllocs++
+	metBufferAllocs.Inc()
 	return make([]message, 0, hint)
 }
 
@@ -367,6 +376,8 @@ func (s *Shard) drainInbox(w *Worker) {
 		s.inbox.mu.Unlock()
 		w.stats.RemoteBatchesRecv++
 		w.stats.RemoteUnitsRecv += uint64(len(batch))
+		metRemoteBatchesRecv.Inc()
+		metRemoteUnitsRecv.Add(uint64(len(batch)))
 		for _, m := range batch {
 			if !s.apply(w, int(m.op), int(m.lv), m.arg) {
 				w.stats.RemoteFailed++

@@ -1,0 +1,22 @@
+package shard
+
+import "aamgo/internal/obs"
+
+// Package-level telemetry. Executors are per-query throwaways, so their
+// instruments live in obs.Default rather than per-instance registries;
+// the series aggregate across every executor in the process.
+//
+// Everything here records at batch granularity — flush, inbox pop, drain
+// barrier — never inside Spawn's per-unit path, and every instrument is
+// allocation-free, so the exact-gated executor.steady_allocs=0 bench
+// metric holds with telemetry enabled.
+var (
+	metRemoteUnitsSent   = obs.Default.Counter("aam_shard_remote_units_sent_total")
+	metRemoteBatchesSent = obs.Default.Counter("aam_shard_remote_batches_sent_total")
+	metRemoteUnitsRecv   = obs.Default.Counter("aam_shard_remote_units_recv_total")
+	metRemoteBatchesRecv = obs.Default.Counter("aam_shard_remote_batches_recv_total")
+	metBufferAllocs      = obs.Default.Counter("aam_shard_buffer_allocs_total")
+	metBufferRecycles    = obs.Default.Counter("aam_shard_buffer_recycles_total")
+	metFlushBatchUnits   = obs.Default.Histogram("aam_shard_flush_batch_units")
+	metDrainLatency      = obs.Default.Histogram("aam_shard_drain_latency_ns")
+)
