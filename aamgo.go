@@ -39,6 +39,7 @@ import (
 	"aamgo/internal/algo"
 	"aamgo/internal/dyn"
 	"aamgo/internal/exec"
+	"aamgo/internal/gblas"
 	"aamgo/internal/graph"
 	"aamgo/internal/run"
 	"aamgo/internal/serve"
@@ -104,10 +105,41 @@ const (
 	FlatCombining = aam.MechFlatCombining
 )
 
-// Config selects the machine and runtime parameters for one run.
+// Execution engines (Config.Engine): three interchangeable realizations
+// of every algorithm the engine axis covers. They produce bit-identical
+// results — BFS level sets, SSSP distances, PageRank Q24.40 rank bits —
+// so the choice is purely a performance/observability trade.
+const (
+	// EngineAAM is the paper's machine: one AAM runtime (sim or native per
+	// Config.Runtime), operators isolated by Config.Mechanism.
+	EngineAAM = "aam"
+	// EngineShard is the shard-parallel executor (internal/shard): real
+	// goroutines, coalesced cross-shard batches, per-shard counters.
+	EngineShard = "shard"
+	// EngineGBLAS is the vectorized GraphBLAS engine (internal/gblas):
+	// frontiers as sparse vectors, push = SpMSpV, pull = masked SpMV over
+	// the CSR, direction-optimized with the same Beamer heuristic as
+	// EngineShard. Covers BFS, SSSP and PageRank.
+	EngineGBLAS = "gblas"
+)
+
+// Engines lists the valid Config.Engine values.
+var Engines = []string{EngineAAM, EngineShard, EngineGBLAS}
+
+// Config selects the engine, machine and runtime parameters for one run.
 type Config struct {
-	// Backend is "sim" (deterministic, virtual time — the default) or
-	// "native" (real goroutines and wall-clock time).
+	// Engine picks the execution engine: EngineAAM, EngineShard or
+	// EngineGBLAS. Empty preserves the historical default — EngineShard
+	// when Shards > 1, EngineAAM otherwise.
+	Engine string
+	// Runtime is "sim" (deterministic, virtual time — the default) or
+	// "native" (real goroutines and wall-clock time). It only shapes
+	// EngineAAM runs; the shard and gblas engines are always native.
+	Runtime string
+	// Backend is the former name of Runtime.
+	//
+	// Deprecated: set Runtime instead. When Runtime is empty, Backend is
+	// read as before, so existing code compiles and behaves identically.
 	Backend string
 	// Machine is the simulated machine profile: "bgq" (Blue Gene/Q node,
 	// 64 threads), "has-c" (Haswell commodity box, 8 threads), or
@@ -139,16 +171,16 @@ type Config struct {
 	LowerSingle bool
 	// Seed fixes workload and simulator randomness (default 1).
 	Seed int64
-	// Shards, when above 1, runs BFS, PageRank, Components, SSSP, MST and
-	// Coloring on the sharded executor (internal/shard) instead of a
-	// single AAM runtime: one shard per vertex block on real goroutines,
-	// cross-shard operators coalesced into batches of C units, local
-	// application isolated by Mechanism. Results are identical to the
-	// single-runtime path (see the package shard docs; for MST and
-	// Coloring they are certified-equivalent: same forest weight and
-	// min-id component labels, a valid deterministic coloring);
-	// RunInfo.Stats stays empty — use the Sharded* functions for the
-	// per-shard counters.
+	// Shards shapes the EngineShard executor: one shard per vertex block
+	// on real goroutines, cross-shard operators coalesced into batches of
+	// C units, local application isolated by Mechanism. Shards > 1 with an
+	// empty Engine selects EngineShard (the historical one-knob behavior);
+	// Engine = EngineShard with Shards unset defaults to 2. Results are
+	// identical to the single-runtime path (see the package shard docs;
+	// for MST and Coloring they are certified-equivalent: same forest
+	// weight and min-id component labels, a valid deterministic coloring);
+	// RunInfo.Stats stays empty — use shard.Config directly (ShardedConfig)
+	// for the per-shard counters.
 	Shards int
 	// Part selects the sharded vertex distribution: PartBlock (default,
 	// equal vertex counts per shard) or PartEdge (edge-balanced prefix-sum
@@ -158,8 +190,28 @@ type Config struct {
 }
 
 func (c Config) resolve() (exec.MachineProfile, Config, error) {
-	if c.Backend == "" {
-		c.Backend = run.Sim
+	// Runtime wins over the deprecated Backend alias; afterwards the two
+	// fields agree, so old code reading Backend still sees the truth.
+	if c.Runtime == "" {
+		c.Runtime = c.Backend
+	}
+	if c.Runtime == "" {
+		c.Runtime = run.Sim
+	}
+	c.Backend = c.Runtime
+	switch c.Engine {
+	case "", EngineAAM, EngineShard, EngineGBLAS:
+	default:
+		return exec.MachineProfile{}, c, fmt.Errorf("aamgo: unknown engine %q (valid: aam, shard, gblas)", c.Engine)
+	}
+	if c.Engine == EngineAAM && c.Shards > 1 {
+		return exec.MachineProfile{}, c, fmt.Errorf("aamgo: Engine=aam conflicts with Shards=%d (the aam engine is unsharded)", c.Shards)
+	}
+	if c.Engine == EngineGBLAS && c.Shards > 1 {
+		return exec.MachineProfile{}, c, fmt.Errorf("aamgo: Engine=gblas conflicts with Shards=%d (the gblas engine is unsharded)", c.Shards)
+	}
+	if c.Engine == EngineShard && c.Shards < 2 {
+		c.Shards = 2
 	}
 	if c.Machine == "" {
 		c.Machine = "has-c"
@@ -184,6 +236,19 @@ func (c Config) resolve() (exec.MachineProfile, Config, error) {
 		c.Seed = 1
 	}
 	return prof, c, nil
+}
+
+// engineSelected returns the effective engine after resolve: the explicit
+// Engine, else EngineShard when Shards > 1 (the historical implicit
+// selection), else EngineAAM.
+func (c Config) engineSelected() string {
+	if c.Engine != "" {
+		return c.Engine
+	}
+	if c.Shards > 1 {
+		return EngineShard
+	}
+	return EngineAAM
 }
 
 // sharded maps the façade Config onto the shard executor: C becomes the
@@ -244,7 +309,10 @@ type BFSResult struct {
 	RunInfo
 }
 
-// BFS runs the AAM breadth-first search from src.
+// BFS runs a breadth-first search from src on the engine Config.Engine
+// selects. All engines return a valid BFS tree with identical level sets;
+// parents may differ between engines (each picks one valid previous-level
+// parent per vertex).
 func BFS(g *Graph, src int, c Config) (BFSResult, error) {
 	prof, c, err := c.resolve()
 	if err != nil {
@@ -253,12 +321,19 @@ func BFS(g *Graph, src int, c Config) (BFSResult, error) {
 	if src < 0 || src >= g.N {
 		return BFSResult{}, fmt.Errorf("aamgo: BFS source %d out of range [0,%d)", src, g.N)
 	}
-	if c.Shards > 1 {
+	switch c.engineSelected() {
+	case EngineShard:
 		res, err := shard.BFS(g, src, c.sharded())
 		if err != nil {
 			return BFSResult{}, err
 		}
 		return BFSResult{Parents: res.Parents, RunInfo: RunInfo{Elapsed: res.Elapsed}}, nil
+	case EngineGBLAS:
+		parents, _, res, err := gblas.EngineBFS(g, src)
+		if err != nil {
+			return BFSResult{}, err
+		}
+		return BFSResult{Parents: parents, RunInfo: RunInfo{Elapsed: res.Elapsed}}, nil
 	}
 	c = c.predictM(g, &prof)
 	b := algo.NewBFS(g, c.Nodes, algo.BFSConfig{
@@ -275,19 +350,25 @@ func BFS(g *Graph, src int, c Config) (BFSResult, error) {
 	return BFSResult{Parents: b.Parents(m), RunInfo: info(res)}, nil
 }
 
-// PageRank runs the AAM vertex-centric push PageRank and returns the rank
-// vector (summing to ≈1).
+// PageRank runs the vertex-centric PageRank on the engine Config.Engine
+// selects and returns the rank vector (summing to ≈1). Ranks accumulate in
+// Q24.40 fixed point on every engine, so the vector is bit-identical
+// across engines.
 func PageRank(g *Graph, damping float64, iterations int, c Config) ([]float64, RunInfo, error) {
 	prof, c, err := c.resolve()
 	if err != nil {
 		return nil, RunInfo{}, err
 	}
-	if c.Shards > 1 {
+	switch c.engineSelected() {
+	case EngineShard:
 		res, err := shard.PageRank(g, damping, iterations, c.sharded())
 		if err != nil {
 			return nil, RunInfo{}, err
 		}
 		return res.Ranks, RunInfo{Elapsed: res.Elapsed}, nil
+	case EngineGBLAS:
+		ranks, res := gblas.EnginePageRank(g, damping, iterations)
+		return ranks, RunInfo{Elapsed: res.Elapsed}, nil
 	}
 	c = c.predictM(g, &prof)
 	p := algo.NewPageRank(g, c.Nodes, algo.PRConfig{
@@ -322,12 +403,15 @@ func MST(g *Graph, c Config) (weight uint64, components []int32, ri RunInfo, err
 	if err != nil {
 		return 0, nil, RunInfo{}, err
 	}
-	if c.Shards > 1 {
+	switch c.engineSelected() {
+	case EngineShard:
 		res, err := shard.MST(g, c.sharded())
 		if err != nil {
 			return 0, nil, RunInfo{}, err
 		}
 		return res.Weight, res.Labels, RunInfo{Elapsed: res.Elapsed}, nil
+	case EngineGBLAS:
+		return 0, nil, RunInfo{}, fmt.Errorf("aamgo: engine gblas does not implement MST (use aam or shard)")
 	}
 	b := algo.NewBoruvka(g)
 	m := run.New(c.Backend, exec.Config{
@@ -347,7 +431,8 @@ func Coloring(g *Graph, c Config) ([]int32, int, RunInfo, error) {
 	if err != nil {
 		return nil, 0, RunInfo{}, err
 	}
-	if c.Shards > 1 {
+	switch c.engineSelected() {
+	case EngineShard:
 		// Seed 0 (the Config zero value) selects the identity priority
 		// order, which reproduces the sequential greedy coloring exactly;
 		// any other seed is a Luby-style random order.
@@ -356,6 +441,8 @@ func Coloring(g *Graph, c Config) ([]int32, int, RunInfo, error) {
 			return nil, 0, RunInfo{}, err
 		}
 		return res.Colors, res.Used, RunInfo{Elapsed: res.Elapsed}, nil
+	case EngineGBLAS:
+		return nil, 0, RunInfo{}, fmt.Errorf("aamgo: engine gblas does not implement Coloring (use aam or shard)")
 	}
 	col := algo.NewColoring(g)
 	m := run.New(c.Backend, exec.Config{
@@ -368,9 +455,11 @@ func Coloring(g *Graph, c Config) ([]int32, int, RunInfo, error) {
 	return colors, used, info(res), nil
 }
 
-// SSSP runs chaotic-relaxation single-source shortest paths over the
-// graph's edge weights and returns the distance vector (MaxUint64 for
-// unreachable vertices).
+// SSSP runs single-source shortest paths over the graph's edge weights on
+// the engine Config.Engine selects (chaotic relaxation on aam,
+// delta-stepping on shard, min-plus frontier rounds on gblas — the
+// distance vector is the unique Bellman fixed point, hence identical) and
+// returns the distance vector (MaxUint64 for unreachable vertices).
 func SSSP(g *Graph, src int, c Config) ([]uint64, RunInfo, error) {
 	if g.Weights == nil {
 		return nil, RunInfo{}, fmt.Errorf("aamgo: SSSP needs edge weights (use Builder.WithWeights)")
@@ -382,12 +471,19 @@ func SSSP(g *Graph, src int, c Config) ([]uint64, RunInfo, error) {
 	if src < 0 || src >= g.N {
 		return nil, RunInfo{}, fmt.Errorf("aamgo: SSSP source %d out of range [0,%d)", src, g.N)
 	}
-	if c.Shards > 1 {
+	switch c.engineSelected() {
+	case EngineShard:
 		res, err := shard.SSSP(g, src, 0, c.sharded()) // auto-selected delta
 		if err != nil {
 			return nil, RunInfo{}, err
 		}
 		return res.Dists, RunInfo{Elapsed: res.Elapsed}, nil
+	case EngineGBLAS:
+		dists, res, err := gblas.EngineSSSP(g, src)
+		if err != nil {
+			return nil, RunInfo{}, err
+		}
+		return dists, RunInfo{Elapsed: res.Elapsed}, nil
 	}
 	c = c.predictM(g, &prof)
 	s := algo.NewSSSP(g, c.Nodes)
@@ -416,6 +512,12 @@ func MaxFlow(g *Graph, s, t int, c Config) (uint64, RunInfo, error) {
 	if s < 0 || s >= g.N || t < 0 || t >= g.N || s == t {
 		return 0, RunInfo{}, fmt.Errorf("aamgo: MaxFlow endpoints %d,%d invalid for %d vertices", s, t, g.N)
 	}
+	// Only the aam engine implements max flow; an explicitly requested
+	// other engine is an error, while the historical implicit selection
+	// (Shards > 1, Engine empty) keeps running here as before.
+	if c.Engine == EngineShard || c.Engine == EngineGBLAS {
+		return 0, RunInfo{}, fmt.Errorf("aamgo: engine %s does not implement MaxFlow (use aam)", c.Engine)
+	}
 	c = c.predictM(g, &prof)
 	f := algo.NewMaxFlow(g)
 	m := run.New(c.Backend, exec.Config{
@@ -434,6 +536,9 @@ func Connected(g *Graph, s, t int, c Config) (bool, RunInfo, error) {
 	if err != nil {
 		return false, RunInfo{}, err
 	}
+	if c.Engine == EngineShard || c.Engine == EngineGBLAS {
+		return false, RunInfo{}, fmt.Errorf("aamgo: engine %s does not implement Connected (use aam)", c.Engine)
+	}
 	st := algo.NewSTConn(g, c.Nodes)
 	m := run.New(c.Backend, exec.Config{
 		Nodes: c.Nodes, ThreadsPerNode: c.Threads,
@@ -451,12 +556,15 @@ func Components(g *Graph, c Config) ([]int32, RunInfo, error) {
 	if err != nil {
 		return nil, RunInfo{}, err
 	}
-	if c.Shards > 1 {
+	switch c.engineSelected() {
+	case EngineShard:
 		res, err := shard.Components(g, c.sharded())
 		if err != nil {
 			return nil, RunInfo{}, err
 		}
 		return res.Labels, RunInfo{Elapsed: res.Elapsed}, nil
+	case EngineGBLAS:
+		return nil, RunInfo{}, fmt.Errorf("aamgo: engine gblas does not implement Components (use aam or shard)")
 	}
 	cc := algo.NewCC(g, c.Nodes)
 	m := run.New(c.Backend, exec.Config{
@@ -536,18 +644,25 @@ const (
 
 // ShardedBFS runs the shard-parallel BFS from src with full per-shard
 // reporting; results are identical to BFS (see package shard).
+//
+// Deprecated: use BFS with Config{Engine: EngineShard}; this wrapper
+// remains only for the per-shard counters in ShardedBFSResult.
 func ShardedBFS(g *Graph, src int, cfg ShardedConfig) (ShardedBFSResult, error) {
 	return shard.BFS(g, src, cfg)
 }
 
 // ShardedPageRank runs the shard-parallel PageRank; the rank vector is
 // bit-identical to PageRank's (exact fixed-point accumulation).
+//
+// Deprecated: use PageRank with Config{Engine: EngineShard}.
 func ShardedPageRank(g *Graph, damping float64, iterations int, cfg ShardedConfig) (ShardedPRResult, error) {
 	return shard.PageRank(g, damping, iterations, cfg)
 }
 
 // ShardedComponents runs the shard-parallel connected components; labels
 // are identical to Components'.
+//
+// Deprecated: use Components with Config{Engine: EngineShard}.
 func ShardedComponents(g *Graph, cfg ShardedConfig) (ShardedCCResult, error) {
 	return shard.Components(g, cfg)
 }
@@ -555,6 +670,9 @@ func ShardedComponents(g *Graph, cfg ShardedConfig) (ShardedCCResult, error) {
 // ShardedSSSP runs the shard-parallel delta-stepping SSSP from src with
 // bucket width delta (0 auto-selects maxWeight/avgDegree); distances are
 // identical to SSSP's. The graph must carry edge weights.
+//
+// Deprecated: use SSSP with Config{Engine: EngineShard}; this wrapper
+// remains for explicit delta control and the per-shard counters.
 func ShardedSSSP(g *Graph, src int, delta uint64, cfg ShardedConfig) (ShardedSSSPResult, error) {
 	return shard.SSSP(g, src, delta, cfg)
 }
@@ -563,6 +681,8 @@ func ShardedSSSP(g *Graph, src int, delta uint64, cfg ShardedConfig) (ShardedSSS
 // forest weight equals MST's and labels are normalized to the minimum
 // vertex id per component. The graph must carry distinct edge weights
 // (use SymmetricWeight).
+//
+// Deprecated: use MST with Config{Engine: EngineShard}.
 func ShardedMST(g *Graph, cfg ShardedConfig) (ShardedMSTResult, error) {
 	return shard.MST(g, cfg)
 }
@@ -572,6 +692,8 @@ func ShardedMST(g *Graph, cfg ShardedConfig) (ShardedMSTResult, error) {
 // 0 is the identity order, which reproduces the sequential greedy
 // coloring exactly. The result is identical for every shard count,
 // mechanism and flush policy.
+//
+// Deprecated: use Coloring with Config{Engine: EngineShard}.
 func ShardedColoring(g *Graph, seed uint64, cfg ShardedConfig) (ShardedColoringResult, error) {
 	return shard.Coloring(g, seed, cfg)
 }

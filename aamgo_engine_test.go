@@ -1,0 +1,204 @@
+package aamgo_test
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"aamgo"
+)
+
+// patchify re-packs g into the patched slack-CSR layout (Ends != nil) with
+// poisoned gap slots, so the matrix below also certifies every engine on
+// the layout incremental snapshot freezes produce.
+func patchify(g *aamgo.Graph, slack int) *aamgo.Graph {
+	out := &aamgo.Graph{
+		N:        g.N,
+		Directed: g.Directed,
+		Offsets:  make([]int64, g.N+1),
+		Ends:     make([]int64, g.N),
+		Arcs:     g.NumEdges(),
+	}
+	total := g.NumEdges() + int64(g.N*slack)
+	out.Adj = make([]int32, total)
+	if g.Weights != nil {
+		out.Weights = make([]uint32, total)
+	}
+	pos := int64(0)
+	for v := 0; v < g.N; v++ {
+		out.Offsets[v] = pos
+		pos += int64(copy(out.Adj[pos:], g.Neighbors(v)))
+		if g.Weights != nil {
+			copy(out.Weights[out.Offsets[v]:], g.EdgeWeights(v))
+		}
+		out.Ends[v] = pos
+		for s := 0; s < slack; s++ {
+			out.Adj[pos] = -1 // poison
+			pos++
+		}
+	}
+	out.Offsets[g.N] = pos
+	return out
+}
+
+// levelsFromParents recovers BFS depths from a parent vector: engines may
+// legitimately pick different previous-level parents, but the depth of
+// every vertex is unique, so levels are the cross-engine invariant.
+func levelsFromParents(t *testing.T, parents []int64, src int) []int64 {
+	t.Helper()
+	levels := make([]int64, len(parents))
+	for v := range levels {
+		levels[v] = -1
+	}
+	levels[src] = 0
+	chain := make([]int, 0, 64)
+	for v := range parents {
+		if levels[v] >= 0 || parents[v] < 0 {
+			continue
+		}
+		chain = chain[:0]
+		u := v
+		for levels[u] < 0 {
+			chain = append(chain, u)
+			u = int(parents[u])
+			if len(chain) > len(parents) {
+				t.Fatalf("parent cycle at vertex %d", v)
+			}
+		}
+		base := levels[u]
+		for i := len(chain) - 1; i >= 0; i-- {
+			base++
+			levels[chain[i]] = base
+		}
+	}
+	return levels
+}
+
+// TestCrossEngineEquivalence is the engine contract in one matrix: for
+// every engine and graph shape (including the patched slack-CSR layout),
+// BFS levels, SSSP distances and PageRank rank bits are identical.
+func TestCrossEngineEquivalence(t *testing.T) {
+	kronW := aamgo.AttachSymmetricWeights(aamgo.Kronecker(8, 8, 3), 5)
+	roadW := aamgo.AttachSymmetricWeights(aamgo.RoadGrid(16, 16, 0.1, 4), 6)
+	graphs := []struct {
+		name string
+		g    *aamgo.Graph
+		src  int
+	}{
+		{"kron", kronW, maxDeg(kronW)},
+		{"road", roadW, 0},
+		{"kron-patched", patchify(kronW, 3), maxDeg(kronW)},
+	}
+	engines := []struct {
+		name string
+		cfg  aamgo.Config
+	}{
+		{"aam", aamgo.Config{Engine: aamgo.EngineAAM}},
+		{"shard", aamgo.Config{Engine: aamgo.EngineShard, Shards: 4}},
+		{"gblas", aamgo.Config{Engine: aamgo.EngineGBLAS}},
+	}
+	for _, gc := range graphs {
+		var wantLevels []int64
+		var wantDists []uint64
+		var wantRanks []float64
+		for _, ec := range engines {
+			t.Run(gc.name+"/"+ec.name, func(t *testing.T) {
+				bfs, err := aamgo.BFS(gc.g, gc.src, ec.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				levels := levelsFromParents(t, bfs.Parents, gc.src)
+				dists, _, err := aamgo.SSSP(gc.g, gc.src, ec.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ranks, _, err := aamgo.PageRank(gc.g, 0.85, 10, ec.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantLevels == nil {
+					wantLevels, wantDists, wantRanks = levels, dists, ranks
+					return
+				}
+				if !slices.Equal(levels, wantLevels) {
+					t.Fatal("BFS levels diverge from the aam engine")
+				}
+				if !slices.Equal(dists, wantDists) {
+					t.Fatal("SSSP distances diverge from the aam engine")
+				}
+				if !slices.Equal(ranks, wantRanks) {
+					t.Fatal("PageRank rank bits diverge from the aam engine")
+				}
+			})
+		}
+	}
+}
+
+// TestRuntimeBackendTransition proves the Backend→Runtime rename is a
+// no-op for existing code: the deprecated field still selects the machine
+// backend, and Runtime wins when both are set.
+func TestRuntimeBackendTransition(t *testing.T) {
+	g := kron(t)
+	src := maxDeg(g)
+	ref, err := aamgo.BFS(g, src, aamgo.Config{Runtime: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old-style code: only the deprecated Backend field set.
+	old, err := aamgo.BFS(g, src, aamgo.Config{Backend: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(old.Parents, ref.Parents) || old.Elapsed != ref.Elapsed {
+		t.Fatal("Backend alias and Runtime disagree on the sim engine")
+	}
+	// Runtime takes precedence over a conflicting Backend value.
+	both, err := aamgo.BFS(g, src, aamgo.Config{Runtime: "sim", Backend: "native"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(both.Parents, ref.Parents) || both.Elapsed != ref.Elapsed {
+		t.Fatal("Runtime did not win over the deprecated Backend alias")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	g := aamgo.AttachSymmetricWeights(aamgo.Kronecker(6, 4, 1), 2)
+	if _, err := aamgo.BFS(g, 0, aamgo.Config{Engine: "spark"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unknown engine not rejected: %v", err)
+	}
+	if _, err := aamgo.BFS(g, 0, aamgo.Config{Engine: aamgo.EngineAAM, Shards: 4}); err == nil {
+		t.Fatal("Engine=aam with Shards>1 not rejected")
+	}
+	if _, err := aamgo.BFS(g, 0, aamgo.Config{Engine: aamgo.EngineGBLAS, Shards: 4}); err == nil {
+		t.Fatal("Engine=gblas with Shards>1 not rejected")
+	}
+	// Engine=shard alone is enough: Shards defaults to 2.
+	if _, err := aamgo.BFS(g, 0, aamgo.Config{Engine: aamgo.EngineShard}); err != nil {
+		t.Fatalf("Engine=shard without Shards: %v", err)
+	}
+	// gblas covers BFS/SSSP/PageRank only.
+	gb := aamgo.Config{Engine: aamgo.EngineGBLAS}
+	if _, _, _, err := aamgo.MST(g, gb); err == nil {
+		t.Fatal("gblas MST not rejected")
+	}
+	if _, _, _, err := aamgo.Coloring(g, gb); err == nil {
+		t.Fatal("gblas Coloring not rejected")
+	}
+	if _, _, err := aamgo.Components(g, gb); err == nil {
+		t.Fatal("gblas Components not rejected")
+	}
+	if _, _, err := aamgo.MaxFlow(g, 0, 1, gb); err == nil {
+		t.Fatal("gblas MaxFlow not rejected")
+	}
+	if _, _, err := aamgo.Connected(g, 0, 1, gb); err == nil {
+		t.Fatal("gblas Connected not rejected")
+	}
+	if _, _, err := aamgo.MaxFlow(g, 0, 1, aamgo.Config{Engine: aamgo.EngineShard}); err == nil {
+		t.Fatal("shard MaxFlow not rejected")
+	}
+	if _, _, err := aamgo.Connected(g, 0, 1, aamgo.Config{Engine: aamgo.EngineShard}); err == nil {
+		t.Fatal("shard Connected not rejected")
+	}
+}

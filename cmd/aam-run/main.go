@@ -6,8 +6,12 @@
 //	aam-run -algo bfs -graph kron -scale 14 -deg 8 -machine bgq -m 80
 //	aam-run -algo pagerank -graph er -n 100000 -p 0.0005 -nodes 8 -c 256
 //	aam-run -algo mst -load edges.txt -mech lock
+//	aam-run -algo bfs -engine gblas -graph kron -scale 14
+//	aam-run -algo cc -engine shard -shards 8
 //
 // Algorithms: bfs, pagerank, sssp, mst, coloring, cc, stconn, maxflow.
+// Engines: aam (default), shard (sharded executor), gblas (masked-SpMV
+// engine; bfs, sssp and pagerank only).
 // Graphs: kron (-scale, -deg), er (-n, -p), road (-n), ba (-n, -deg),
 // community (-n, -deg), or -load <edge-list file>.
 package main
@@ -32,7 +36,10 @@ func main() {
 		p         = flag.Float64("p", 0.002, "er: edge probability")
 		seed      = flag.Int64("seed", 1, "generator and machine seed")
 
-		backend  = flag.String("backend", "sim", "sim|native")
+		engine   = flag.String("engine", "", "aam|shard|gblas (empty = aam, or shard when -shards > 1)")
+		shards   = flag.Int("shards", 0, "shard count for the shard engine")
+		rt       = flag.String("runtime", "", "sim|native machine runtime (default sim)")
+		backend  = flag.String("backend", "", "deprecated alias for -runtime")
 		machine  = flag.String("machine", "has-c", "has-c|has-p|bgq")
 		variant  = flag.String("htm", "", "HTM variant (rtm|hle|short|long)")
 		nodes    = flag.Int("nodes", 1, "machine nodes")
@@ -70,8 +77,15 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown mechanism %q", *mech))
 	}
+	if *rt == "" {
+		*rt = *backend
+	}
+	if *rt == "" {
+		*rt = "sim"
+	}
 	cfg := aamgo.Config{
-		Backend: *backend, Machine: *machine, HTMVariant: *variant,
+		Engine: *engine, Shards: *shards,
+		Runtime: *rt, Machine: *machine, HTMVariant: *variant,
 		Nodes: *nodes, Threads: *threads, Mechanism: mechanism,
 		M: *m, C: *c, AutoM: *autoM, PredictM: *predictM,
 		LowerSingle: *lower, Seed: *seed,
@@ -178,7 +192,7 @@ func main() {
 	}
 
 	s := ri.Stats
-	fmt.Printf("time: %v (%s backend)\n", ri.Elapsed, *backend)
+	fmt.Printf("time: %v (%s runtime)\n", ri.Elapsed, *rt)
 	fmt.Printf("ops: %d operators, %d transactions (%d attempts, %d aborts, %d serialized), %d atomics, %d messages\n",
 		s.OpsExecuted, s.TxStarted, s.TxAttempts, s.TotalAborts(), s.TxSerialized, s.AtomicOps, s.MsgsSent)
 }

@@ -17,6 +17,7 @@
 //	curl -X POST localhost:8080/edges -d '{"edges":[[0,1],[1,2]]}'
 //	curl 'localhost:8080/query/bfs?src=0'
 //	curl 'localhost:8080/query/bfs?src=0&shards=4'   # sharded executor
+//	curl 'localhost:8080/query/bfs?src=0&engine=gblas'  # masked-SpMV engine
 //	curl 'localhost:8080/query/bfs?src=0&trace=1'    # embed the trace span
 //	curl 'localhost:8080/query/cc'
 //	curl 'localhost:8080/stats'

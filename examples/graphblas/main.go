@@ -79,6 +79,33 @@ func main() {
 	}
 	fmt.Printf("plus-times PageRank: most central junction %d (rank %.2e, degree %d)\n",
 		top, topRank, g.Degree(top))
+
+	// 4. The same algebra through the facade: Config{Engine: "gblas"}
+	// dispatches to the vectorized masked-SpMV engine — no AAM machine in
+	// the path, bit-identical results to the aam and shard engines.
+	cfg := aamgo.Config{Engine: aamgo.EngineGBLAS}
+	res, err := aamgo.BFS(g, depot, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	facadeReached := 0
+	for _, p := range res.Parents {
+		if p >= 0 {
+			facadeReached++
+		}
+	}
+	fDists, _, err := aamgo.SSSP(wg, depot, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := facadeReached == reached
+	for v := range dists {
+		if fDists[v] != dists[v] {
+			agree = false
+		}
+	}
+	fmt.Printf("facade engine=gblas: %d reachable in %v, distances identical to the System run: %v\n",
+		facadeReached, res.Elapsed, agree)
 }
 
 // weighted rebuilds g with symmetric travel-time weights (1..120 seconds

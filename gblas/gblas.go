@@ -14,6 +14,12 @@
 //
 // For full control (custom semirings, weights, masks, step loops) use the
 // System type directly.
+//
+// The package also re-exports the vectorized engine entry points
+// (EngineBFS, EngineSSSP, EnginePageRank) — the same masked-SpMV loops the
+// facade runs under aamgo.Config{Engine: aamgo.EngineGBLAS}, without an
+// AAM machine in the path. Use those for raw throughput; use the System
+// layer to study the algebra executing as AAM activities.
 package gblas
 
 import (
@@ -118,6 +124,23 @@ func NewTriangles(g *graph.Graph, nodes int, eng Engine) *Triangles {
 
 // SeqTriangles is the sequential triangle-count reference.
 var SeqTriangles = gblas.SeqTriangles
+
+// EngineResult reports one vectorized-engine execution (step counts split
+// by traversal direction, wall time).
+type EngineResult = gblas.EngineResult
+
+// Vectorized engine entry points: the frontier as a sparse vector, one
+// step as a masked SpMV/SpMSpV over the package's semirings, executed as
+// tight loops over the CSR (no AAM machine). Results are bit-identical to
+// the aam and shard engines' (see aamgo.Config.Engine).
+var (
+	// EngineBFS is the direction-optimizing or-and traversal.
+	EngineBFS = gblas.EngineBFS
+	// EngineSSSP is the min-plus SpMSpV Bellman iteration.
+	EngineSSSP = gblas.EngineSSSP
+	// EnginePageRank is the Q24.40 fixed-point power iteration.
+	EnginePageRank = gblas.EnginePageRank
+)
 
 // Machine constructs a machine sized for the system sys on the named
 // backend ("sim" or "native") and machine profile ("bgq", "has-c",

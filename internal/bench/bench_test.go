@@ -26,6 +26,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"sharded",
 		"sharded-irregular",
 		"serving",
+		"gblas",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

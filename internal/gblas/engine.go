@@ -1,0 +1,281 @@
+package gblas
+
+import (
+	"fmt"
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// This file is the vectorized GraphBLAS execution engine — the third
+// first-class backend behind the facade's Config.Engine = "gblas" (next to
+// the single-runtime AAM machine and the sharded executor). Where the
+// System type in this package demonstrates the paper's §7 claim by running
+// every accumulation as an AAM activity, the engine here is the
+// performance-oriented realization of the same algebra: the frontier is a
+// sparse vector, one step is a masked sparse-vector × matrix product over
+// a semiring, and the product executes as tight loops directly over the
+// CSR arrays (flat or patched slack layout — all access goes through
+// Neighbors/Degree/EdgeWeights, which handle both).
+//
+//	push step = SpMSpV:  y ⊕= xᵀA restricted to x's nonzeros, the
+//	            improvement test y[w] ⊕ x[v]⊗a(v,w) ≠ y[w] acting as the
+//	            output mask that builds the next frontier;
+//	pull step = masked SpMV: every vertex still carrying Zero scans its own
+//	            adjacency against a bitmap of the current frontier —
+//	            owner-local writes, no scatter, early exit on the Boolean
+//	            semiring's annihilator.
+//
+// The push/pull switch is the shared Beamer heuristic
+// (graph.DirectionOptimizer), the same instance the sharded BFS uses, so
+// the two engines make identical per-level decisions. Semirings are the
+// package's existing three: or-and (BFS), min-plus (SSSP), and — for
+// bit-identical ranks across all three engines — the Q24.40 fixed-point
+// additive monoid (PageRank), sharing the scale constant of internal/algo
+// and internal/shard.
+
+// EngineResult reports one vectorized-engine execution.
+type EngineResult struct {
+	// Steps counts frontier expansions (BFS levels, SSSP rounds, PageRank
+	// iterations).
+	Steps int
+	// PushSteps and PullSteps split Steps by traversal direction
+	// (pull only occurs in BFS on undirected graphs).
+	PushSteps, PullSteps int
+	// Elapsed is the wall-clock duration of the computation.
+	Elapsed time.Duration
+}
+
+// pushStep runs one SpMSpV step y ⊕= xᵀA over sr: for every frontier
+// vertex v — x(v) read from y at expansion time, the System.Step
+// convention — accumulate y[w] ⊕= x(v) ⊗ a(v,w) along v's arcs. Vertices
+// whose entry improves join next exactly once (inNext is the dedup mask;
+// the caller clears it). onImprove, when non-nil, observes each first
+// improvement of the step (BFS parent capture).
+func pushStep(g *graph.Graph, sr Semiring, weight WeightFunc, y []uint64,
+	cur, next []int32, inNext []bool, onImprove func(w, v int32)) []int32 {
+	for _, v := range cur {
+		xv := y[v]
+		neigh := g.Neighbors(int(v))
+		for i, w := range neigh {
+			aw := sr.One
+			if weight != nil {
+				aw = weight(g, int(v), i, w)
+			}
+			nv := sr.Add(y[w], sr.Mul(xv, aw))
+			if nv == y[w] {
+				continue // no improvement: masked out
+			}
+			y[w] = nv
+			if !inNext[w] {
+				inNext[w] = true
+				if onImprove != nil {
+					onImprove(w, v)
+				}
+				next = append(next, w)
+			}
+		}
+	}
+	return next
+}
+
+// frontierArcs sums the out-degrees of a frontier (the mf input of the
+// direction heuristic).
+func frontierArcs(g *graph.Graph, f []int32) int64 {
+	var mf int64
+	for _, v := range f {
+		mf += int64(g.Degree(int(v)))
+	}
+	return mf
+}
+
+// EngineBFS runs the direction-optimizing or-and traversal from src and
+// returns the parent and level vectors (-1 where unreachable; the source
+// is its own parent at level 0). Level sets — and with them the level
+// vector — are identical to the aam and shard engines' for every graph
+// and source: all three expand the same frontiers, and the push/pull
+// choice shares one heuristic.
+func EngineBFS(g *graph.Graph, src int) (parents, levels []int64, res EngineResult, err error) {
+	if src < 0 || src >= g.N {
+		return nil, nil, res, fmt.Errorf("gblas: BFS source %d out of range [0,%d)", src, g.N)
+	}
+	t0 := time.Now()
+	sr := OrAnd()
+	y := make([]uint64, g.N)
+	parents = make([]int64, g.N)
+	levels = make([]int64, g.N)
+	for v := range parents {
+		parents[v], levels[v] = -1, -1
+	}
+	y[src] = sr.One
+	parents[src], levels[src] = int64(src), 0
+
+	cur := []int32{int32(src)}
+	var next []int32
+	inNext := make([]bool, g.N)
+	var bits []uint64 // frontier bitmap, allocated on first pull level
+
+	dob := graph.NewDirectionOptimizer(g)
+	nf, mf := 1, int64(g.Degree(src))
+	depth := int64(0)
+	for len(cur) > 0 {
+		depth++
+		if dob.Decide(nf, mf) {
+			res.PullSteps++
+			if bits == nil {
+				bits = make([]uint64, (g.N+63)/64)
+			} else {
+				clear(bits)
+			}
+			for _, v := range cur {
+				bits[uint(v)>>6] |= 1 << (uint(v) & 63)
+			}
+			// Masked SpMV: the complement of the visited set is the mask,
+			// the Boolean semiring's annihilator (1 ∨ x = 1) justifies the
+			// early exit after the first frontier neighbor.
+			for v := 0; v < g.N; v++ {
+				if y[v] != sr.Zero {
+					continue
+				}
+				for _, uv := range g.Neighbors(v) {
+					u := uint(uv)
+					if bits[u>>6]&(1<<(u&63)) == 0 {
+						continue
+					}
+					y[v] = sr.One
+					parents[v], levels[v] = int64(uv), depth
+					next = append(next, int32(v))
+					break
+				}
+			}
+		} else {
+			res.PushSteps++
+			next = pushStep(g, sr, nil, y, cur, next, inNext, func(w, v int32) {
+				parents[w], levels[w] = int64(v), depth
+			})
+			for _, w := range next {
+				inNext[w] = false
+			}
+		}
+		dob.Advance(mf)
+		nf, mf = len(next), frontierArcs(g, next)
+		cur, next = next, cur[:0]
+	}
+	res.Steps = res.PushSteps + res.PullSteps
+	res.Elapsed = time.Since(t0)
+	return parents, levels, res, nil
+}
+
+// EngineSSSP runs min-plus SpMSpV rounds from src to the fixpoint and
+// returns the distance vector (Infinity where unreachable) — the unique
+// solution of the Bellman equations, hence identical to the aam and shard
+// engines' distances. Each round relaxes the current frontier (vertices
+// whose distance improved last round); a vertex re-enters the frontier
+// whenever its entry improves. The graph must carry edge weights.
+func EngineSSSP(g *graph.Graph, src int) (dists []uint64, res EngineResult, err error) {
+	if g.Weights == nil {
+		return nil, res, fmt.Errorf("gblas: SSSP needs edge weights")
+	}
+	if src < 0 || src >= g.N {
+		return nil, res, fmt.Errorf("gblas: SSSP source %d out of range [0,%d)", src, g.N)
+	}
+	t0 := time.Now()
+	sr := MinPlus()
+	y := make([]uint64, g.N)
+	for v := range y {
+		y[v] = sr.Zero
+	}
+	y[src] = 0
+
+	cur := []int32{int32(src)}
+	var next []int32
+	inNext := make([]bool, g.N)
+	for len(cur) > 0 {
+		res.PushSteps++
+		next = pushStep(g, sr, EdgeWeights, y, cur, next, inNext, nil)
+		for _, w := range next {
+			inNext[w] = false
+		}
+		cur, next = next, cur[:0]
+	}
+	res.Steps = res.PushSteps
+	res.Elapsed = time.Since(t0)
+	return y, res, nil
+}
+
+// enginePRScale is the Q24.40 fixed-point scale shared (by value) with
+// internal/algo and internal/shard: rank updates are exact integer adds,
+// so the rank vector is bit-identical across all three engines and any
+// accumulation order.
+const enginePRScale = 1 << 40
+
+// EnginePageRank runs the vertex-centric PageRank power iteration over the
+// Q24.40 additive monoid and returns the rank vector (summing to ≈1),
+// bit-identical to the aam and shard engines'. The per-vertex scalar
+// d·rank(v)/outdeg(v) is the row scaling of the ⊗ side; the per-edge work
+// is the pure ⊕ (integer add). Undirected graphs run the pull form — each
+// vertex gathers its neighbors' shares, one owner-local write per vertex;
+// directed graphs scatter (the CSR has no reverse adjacency). Integer adds
+// commute, so both forms produce the same bits. Zero values select the
+// defaults damping 0.85 and 10 iterations (as the other engines do).
+func EnginePageRank(g *graph.Graph, damping float64, iterations int) ([]float64, EngineResult) {
+	var res EngineResult
+	if damping == 0 {
+		damping = 0.85
+	}
+	if iterations == 0 {
+		iterations = 10
+	}
+	if g.N == 0 {
+		return []float64{}, res
+	}
+	t0 := time.Now()
+	n := g.N
+	base := uint64((1 - damping) / float64(n) * enginePRScale)
+	cur := make([]uint64, n)
+	nxt := make([]uint64, n)
+	shares := make([]uint64, n)
+	init := uint64(1.0 / float64(n) * enginePRScale)
+	for v := range cur {
+		cur[v] = init
+	}
+	for it := 0; it < iterations; it++ {
+		res.PushSteps++
+		for v := 0; v < n; v++ {
+			if deg := g.Degree(v); deg > 0 {
+				shares[v] = uint64(float64(cur[v]) * damping / float64(deg))
+			} else {
+				shares[v] = 0
+			}
+		}
+		if g.Directed {
+			for v := range nxt {
+				nxt[v] = base
+			}
+			for v := 0; v < n; v++ {
+				if shares[v] == 0 {
+					continue
+				}
+				for _, w := range g.Neighbors(v) {
+					nxt[w] += shares[v]
+				}
+			}
+		} else {
+			for w := 0; w < n; w++ {
+				acc := base
+				for _, u := range g.Neighbors(w) {
+					acc += shares[u]
+				}
+				nxt[w] = acc
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	res.Steps = res.PushSteps
+	ranks := make([]float64, n)
+	for v, r := range cur {
+		ranks[v] = float64(r) / enginePRScale
+	}
+	res.Elapsed = time.Since(t0)
+	return ranks, res
+}

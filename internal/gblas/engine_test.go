@@ -1,0 +1,203 @@
+package gblas
+
+import (
+	"slices"
+	"testing"
+
+	"aamgo/internal/algo"
+	"aamgo/internal/graph"
+)
+
+// patchify re-packs g into the patched slack-CSR layout (Ends != nil),
+// leaving `slack` poisoned slots after each vertex's arcs, so the engine's
+// accessor discipline is exercised: any code indexing Adj by
+// Offsets[v]:Offsets[v+1] instead of the accessors reads the poison.
+func patchify(g *graph.Graph, slack int) *graph.Graph {
+	out := &graph.Graph{
+		N:        g.N,
+		Directed: g.Directed,
+		Offsets:  make([]int64, g.N+1),
+		Ends:     make([]int64, g.N),
+		Arcs:     g.NumEdges(),
+	}
+	total := g.NumEdges() + int64(g.N*slack)
+	out.Adj = make([]int32, total)
+	if g.Weights != nil {
+		out.Weights = make([]uint32, total)
+	}
+	pos := int64(0)
+	for v := 0; v < g.N; v++ {
+		out.Offsets[v] = pos
+		pos += int64(copy(out.Adj[pos:], g.Neighbors(v)))
+		if g.Weights != nil {
+			copy(out.Weights[out.Offsets[v]:], g.EdgeWeights(v))
+		}
+		out.Ends[v] = pos
+		for s := 0; s < slack; s++ {
+			out.Adj[pos] = -1 // poison
+			pos++
+		}
+	}
+	out.Offsets[g.N] = pos
+	return out
+}
+
+func engineGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	kron := graph.AttachSymmetricWeights(graph.Kronecker(8, 8, 1), 7)
+	road := graph.AttachSymmetricWeights(graph.RoadGrid(24, 24, 0.1, 2), 9)
+	return map[string]*graph.Graph{
+		"kron":         kron,
+		"road":         road,
+		"kron-patched": patchify(kron, 3),
+	}
+}
+
+func TestEngineBFSMatchesSeq(t *testing.T) {
+	for name, g := range engineGraphs(t) {
+		want := algo.SeqBFS(g, 0)
+		parents, levels, res, err := EngineBFS(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := 0; v < g.N; v++ {
+			if levels[v] != int64(want[v]) {
+				t.Fatalf("%s: level[%d] = %d, want %d", name, v, levels[v], want[v])
+			}
+			switch {
+			case v == 0:
+				if parents[v] != 0 {
+					t.Fatalf("%s: source parent %d", name, parents[v])
+				}
+			case levels[v] < 0:
+				if parents[v] != -1 {
+					t.Fatalf("%s: unreachable %d has parent %d", name, v, parents[v])
+				}
+			default:
+				// Any valid BFS tree attaches v to a previous-level vertex.
+				if p := parents[v]; p < 0 || levels[p] != levels[v]-1 {
+					t.Fatalf("%s: parent[%d]=%d at level %d, v at %d",
+						name, v, parents[v], levels[parents[v]], levels[v])
+				}
+			}
+		}
+		if res.Steps != res.PushSteps+res.PullSteps || res.Steps == 0 {
+			t.Fatalf("%s: inconsistent step counts %+v", name, res)
+		}
+		if name == "kron" && res.PullSteps == 0 {
+			t.Fatalf("kron: direction heuristic never pulled on a scale-free graph")
+		}
+	}
+}
+
+func TestEngineBFSDirectedPushesOnly(t *testing.T) {
+	g := graph.CitationDAG(300, 4, 5)
+	if !g.Directed {
+		t.Fatal("test premise: CitationDAG is directed")
+	}
+	want := algo.SeqBFS(g, 299)
+	_, levels, res, err := EngineBFS(g, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PullSteps != 0 {
+		t.Fatalf("directed BFS ran %d pull steps", res.PullSteps)
+	}
+	for v := range levels {
+		if levels[v] != int64(want[v]) {
+			t.Fatalf("level[%d] = %d, want %d", v, levels[v], want[v])
+		}
+	}
+}
+
+func TestEngineSSSPMatchesDijkstra(t *testing.T) {
+	for name, g := range engineGraphs(t) {
+		want := algo.SeqSSSP(g, 0)
+		dists, res, err := EngineSSSP(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !slices.Equal(dists, want) {
+			t.Fatalf("%s: distance vector diverges from Dijkstra", name)
+		}
+		if res.Steps == 0 || res.PullSteps != 0 {
+			t.Fatalf("%s: unexpected step counts %+v", name, res)
+		}
+	}
+}
+
+func TestEngineSSSPNeedsWeights(t *testing.T) {
+	if _, _, err := EngineSSSP(graph.Kronecker(5, 4, 1), 0); err == nil {
+		t.Fatal("SSSP on an unweighted graph should fail")
+	}
+}
+
+func TestEngineSourceRange(t *testing.T) {
+	g := graph.AttachSymmetricWeights(graph.Kronecker(5, 4, 1), 1)
+	if _, _, _, err := EngineBFS(g, g.N); err == nil {
+		t.Fatal("BFS source out of range should fail")
+	}
+	if _, _, err := EngineSSSP(g, -1); err == nil {
+		t.Fatal("SSSP source out of range should fail")
+	}
+}
+
+func TestEnginePageRank(t *testing.T) {
+	for name, g := range engineGraphs(t) {
+		ranks, res, want := enginePR(t, g), EngineResult{}, algo.SeqPageRank(g, 0.85, 10)
+		_ = res
+		sum := 0.0
+		for v, r := range ranks {
+			sum += r
+			if diff := r - want[v]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("%s: rank[%d] = %g, float reference %g", name, v, r, want[v])
+			}
+		}
+		// Dangling vertices leak rank mass in this formulation (as in the
+		// other engines' and the sequential reference's), so the sum is ≤1.
+		if sum < 0.5 || sum > 1.01 {
+			t.Fatalf("%s: ranks sum to %g", name, sum)
+		}
+	}
+	// Directed graphs take the push path; the result must still track the
+	// float reference.
+	g := graph.CitationDAG(300, 4, 5)
+	ranks := enginePR(t, g)
+	want := algo.SeqPageRank(g, 0.85, 10)
+	for v, r := range ranks {
+		if diff := r - want[v]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("directed: rank[%d] = %g, float reference %g", v, r, want[v])
+		}
+	}
+}
+
+func enginePR(t *testing.T, g *graph.Graph) []float64 {
+	t.Helper()
+	ranks, res := EnginePageRank(g, 0, 0)
+	if res.Steps != 10 {
+		t.Fatalf("default iterations ran %d steps", res.Steps)
+	}
+	return ranks
+}
+
+// TestEngineDeterminism: same graph, same source → bit-identical outputs,
+// the property the cross-engine equivalence matrix builds on.
+func TestEngineDeterminism(t *testing.T) {
+	g := graph.AttachSymmetricWeights(graph.Kronecker(8, 8, 3), 11)
+	p1, l1, r1, _ := EngineBFS(g, 0)
+	p2, l2, r2, _ := EngineBFS(g, 0)
+	if !slices.Equal(l1, l2) || !slices.Equal(p1, p2) ||
+		r1.PushSteps != r2.PushSteps || r1.PullSteps != r2.PullSteps {
+		t.Fatal("BFS is not deterministic")
+	}
+	d1, _, _ := EngineSSSP(g, 0)
+	d2, _, _ := EngineSSSP(g, 0)
+	if !slices.Equal(d1, d2) {
+		t.Fatal("SSSP is not deterministic")
+	}
+	k1, _ := EnginePageRank(g, 0, 0)
+	k2, _ := EnginePageRank(g, 0, 0)
+	if !slices.Equal(k1, k2) {
+		t.Fatal("PageRank is not deterministic")
+	}
+}

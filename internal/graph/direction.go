@@ -1,0 +1,55 @@
+package graph
+
+// Direction-optimizing traversal switch (Beamer et al., "Direction-
+// Optimizing Breadth-First Search", SC'12), shared by every engine that
+// walks frontiers over the CSR: the sharded executor's BFS
+// (internal/shard) and the vectorized masked-SpMV engine (internal/gblas).
+// Keeping one implementation guarantees the engines make identical per-
+// level push/pull decisions — and therefore produce identical level sets —
+// for a fixed graph and source.
+//
+// Switch to pull when the frontier's outgoing arcs exceed 1/DOBAlpha of
+// the arcs still unexplored, and back to push when the frontier shrinks
+// below 1/DOBBeta of the vertex set. Both inputs are pure functions of the
+// level sets, so the per-level direction choice is deterministic.
+const (
+	DOBAlpha = 14
+	DOBBeta  = 24
+)
+
+// DirectionOptimizer carries the per-traversal switch state: the arcs
+// already explored and the direction currently in force.
+type DirectionOptimizer struct {
+	totalArcs int64
+	n         int
+	directed  bool
+	explored  int64
+	pull      bool
+}
+
+// NewDirectionOptimizer prepares the switch for one traversal of g.
+// Directed graphs always push: the CSR carries no reverse adjacency, so a
+// bottom-up level cannot scan in-neighbors.
+func NewDirectionOptimizer(g *Graph) *DirectionOptimizer {
+	return &DirectionOptimizer{totalArcs: g.NumEdges(), n: g.N, directed: g.Directed}
+}
+
+// Decide returns whether the next level should run bottom-up ("pull"),
+// given the current frontier's vertex count nf and outgoing-arc count mf.
+// The decision is sticky: once pulling, the traversal keeps pulling until
+// the frontier shrinks below n/DOBBeta.
+func (d *DirectionOptimizer) Decide(nf int, mf int64) bool {
+	if d.directed {
+		return false
+	}
+	if !d.pull {
+		d.pull = mf > (d.totalArcs-d.explored)/DOBAlpha
+	} else {
+		d.pull = nf >= d.n/DOBBeta
+	}
+	return d.pull
+}
+
+// Advance records that a frontier with mf outgoing arcs was expanded, so
+// later Decide calls see the shrinking unexplored remainder.
+func (d *DirectionOptimizer) Advance(mf int64) { d.explored += mf }

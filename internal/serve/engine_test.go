@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aamgo/internal/graph"
+)
+
+// TestEngineParam pins the ?engine= axis end to end: the three engines
+// answer identically, the effective engine is echoed in the body and the
+// trace span, and every unknown or conflicting combination is a 400 with
+// a JSON error body.
+func TestEngineParam(t *testing.T) {
+	base := graph.Community(200, 10, 4, 0.05, 9)
+	ts, _ := newTestServer(t, base, Config{C: 8})
+
+	// BFS: identical reach and depth across engines; gblas reports its
+	// push/pull split instead of shard messaging counters.
+	aam := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1", nil, 200)
+	shd := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1&engine=shard&shards=4", nil, 200)
+	gbl := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&full=1&engine=gblas", nil, 200)
+	if aam["engine"] != "aam" || shd["engine"] != "shard" || gbl["engine"] != "gblas" {
+		t.Fatalf("engine echoes: %v / %v / %v", aam["engine"], shd["engine"], gbl["engine"])
+	}
+	if aam["reached"] != shd["reached"] || aam["reached"] != gbl["reached"] {
+		t.Fatalf("bfs reach diverges: %v / %v / %v", aam["reached"], shd["reached"], gbl["reached"])
+	}
+	if shd["levels"] != gbl["levels"] {
+		t.Fatalf("bfs depth diverges: shard %v, gblas %v", shd["levels"], gbl["levels"])
+	}
+	steps := gbl["gblas"].(map[string]any)
+	if steps["push_steps"].(float64)+steps["pull_steps"].(float64) != gbl["levels"].(float64)+1 {
+		t.Fatalf("gblas step split inconsistent: %v vs levels %v", steps, gbl["levels"])
+	}
+
+	// SSSP: identical distance vectors.
+	sAAM := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1", nil, 200)
+	sShd := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1&shards=4", nil, 200)
+	sGbl := doJSON(t, "GET", ts.URL+"/query/sssp?src=0&full=1&engine=gblas", nil, 200)
+	if !reflect.DeepEqual(sAAM["dists"], sGbl["dists"]) || !reflect.DeepEqual(sShd["dists"], sGbl["dists"]) {
+		t.Fatal("sssp distances diverge across engines")
+	}
+	if sShd["engine"] != "shard" { // ?shards=N alone implies engine=shard
+		t.Fatalf("implicit shard engine echo: %v", sShd["engine"])
+	}
+
+	// PageRank: bit-identical ranks make the top list identical too.
+	pAAM := doJSON(t, "GET", ts.URL+"/query/pagerank?iters=4&top=8", nil, 200)
+	pGbl := doJSON(t, "GET", ts.URL+"/query/pagerank?iters=4&top=8&engine=gblas", nil, 200)
+	if !reflect.DeepEqual(pAAM["top"], pGbl["top"]) {
+		t.Fatal("pagerank top diverges between aam and gblas")
+	}
+
+	// The trace span carries the effective engine.
+	tr := doJSON(t, "GET", ts.URL+"/query/bfs?src=0&engine=gblas&trace=1", nil, 200)
+	if tr["trace"].(map[string]any)["engine"] != "gblas" {
+		t.Fatalf("trace engine: %v", tr["trace"])
+	}
+}
+
+// TestEngineParamValidation: every rejected combination answers 400 with
+// a JSON {"error": ...} body (the contract aam-serve clients rely on).
+func TestEngineParamValidation(t *testing.T) {
+	base := graph.Community(60, 6, 4, 0.05, 3)
+	ts, _ := newTestServer(t, base, Config{})
+	cases := []struct{ name, path string }{
+		{"unknown engine", "/query/bfs?src=0&engine=spark"},
+		{"unknown engine sssp", "/query/sssp?src=0&engine=cuda"},
+		{"unknown mech unsharded", "/query/bfs?src=0&mech=nope"},
+		{"unknown part", "/query/bfs?src=0&shards=2&part=metis"},
+		{"aam with shards", "/query/bfs?src=0&engine=aam&shards=4"},
+		{"shard without shards", "/query/bfs?src=0&engine=shard"},
+		{"shard with shards=1", "/query/bfs?src=0&engine=shard&shards=1"},
+		{"gblas with shards", "/query/bfs?src=0&engine=gblas&shards=4"},
+		{"gblas with mech", "/query/bfs?src=0&engine=gblas&mech=lock"},
+		{"gblas sssp with delta", "/query/sssp?src=0&engine=gblas&delta=4"},
+		{"gblas cc", "/query/cc?engine=gblas"},
+		{"gblas mst", "/query/mst?engine=gblas"},
+		{"gblas coloring", "/query/coloring?engine=gblas"},
+		{"cc unsharded mech", "/query/cc?mech=occ"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := doJSON(t, "GET", ts.URL+c.path, nil, 400)
+			msg, ok := res["error"].(string)
+			if !ok || msg == "" {
+				t.Fatalf("missing JSON error body: %v", res)
+			}
+		})
+	}
+	// The surviving combinations still work.
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&engine=aam&mech=lock", nil, 200)
+	doJSON(t, "GET", ts.URL+"/query/cc?engine=shard&shards=2&mech=occ", nil, 200)
+	doJSON(t, "GET", ts.URL+"/query/mst?engine=shard&shards=2", nil, 200)
+}
+
+// TestEngineLatencyMetric: a gblas query feeds the engine-labeled serve
+// histogram surfaced on /metrics.
+func TestEngineLatencyMetric(t *testing.T) {
+	base := graph.Community(60, 6, 4, 0.05, 3)
+	ts, _ := newTestServer(t, base, Config{})
+	doJSON(t, "GET", ts.URL+"/query/bfs?src=0&engine=gblas", nil, 200)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, `aam_serve_query_latency_ns{engine="gblas"`) {
+		t.Fatal("gblas engine latency series missing from /metrics")
+	}
+	// The other engines' series exist from registration even without
+	// traffic (a scrape sees the full label space).
+	for _, eng := range []string{"aam", "shard"} {
+		if !strings.Contains(text, `aam_serve_query_latency_ns{engine="`+eng+`"`) {
+			t.Fatalf("%s engine latency series missing from /metrics", eng)
+		}
+	}
+}

@@ -42,6 +42,15 @@ func (s *Server) initMetrics(endpoints []string) {
 		s.ep[name] = em
 	}
 
+	// Per-engine query latency: one histogram per execution engine, fed by
+	// whichever endpoint resolved a query to that engine. The engine labels
+	// cut across the endpoint labels above — "is gblas slower than shard on
+	// this workload" is one scrape, not a per-endpoint join.
+	s.engLat = make(map[string]*obs.Histogram, 3)
+	for _, eng := range []string{engAAM, engShard, engGBLAS} {
+		s.engLat[eng] = s.reg.Histogram(fmt.Sprintf("aam_serve_query_latency_ns{engine=%q}", eng))
+	}
+
 	s.poolSaturated = s.reg.Counter("aam_serve_pool_saturation_total")
 	s.reg.GaugeFunc("aam_serve_pool_inflight", func() float64 { return float64(len(s.sem)) })
 	s.reg.GaugeFunc("aam_serve_pool_capacity", func() float64 { return float64(cap(s.sem)) })
@@ -106,6 +115,9 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 		sp.Status = sw.status
 		sp.WallNS = time.Since(sp.Start).Nanoseconds()
 		em.lat.Record(uint64(sp.WallNS))
+		if h := s.engLat[sp.Engine]; h != nil {
+			h.Record(uint64(sp.WallNS))
+		}
 		if c := sw.status / 100; c >= 2 && c <= 5 {
 			em.status[c].Inc()
 		}

@@ -12,12 +12,12 @@
 //	DELETE /edges               {"edges":[[u,v],...]}   delete a batch
 //	POST   /vertices            {"count":k}             append k vertices
 //	GET    /graph                                       size/epoch summary
-//	GET    /query/bfs?src=V[&full=1]                    AAM BFS from V
+//	GET    /query/bfs?src=V[&full=1]                    BFS from V
 //	GET    /query/cc                                    incremental components
-//	GET    /query/pagerank[?iters=I&damping=D&top=K]    AAM PageRank
-//	GET    /query/sssp?src=V[&delta=D&wseed=S&full=1]   AAM delta-stepping SSSP
-//	GET    /query/mst[?wseed=S&full=1]                  AAM Borůvka spanning forest
-//	GET    /query/coloring[?shards=N&seed=S&full=1]     AAM greedy coloring
+//	GET    /query/pagerank[?iters=I&damping=D&top=K]    PageRank
+//	GET    /query/sssp?src=V[&delta=D&wseed=S&full=1]   delta-stepping SSSP
+//	GET    /query/mst[?wseed=S&full=1]                  Borůvka spanning forest
+//	GET    /query/coloring[?shards=N&seed=S&full=1]     greedy coloring
 //	GET    /stats                                       lifetime counters
 //	GET    /debug/pprof/...                             profiling (Config.EnablePprof)
 //
@@ -28,14 +28,25 @@
 // Mutation endpoints accept ?mech={htm,atomic,lock,occ,flatcomb} to
 // override the server's default isolation mechanism per request.
 //
-// Query endpoints accept ?shards=N (N > 1) to run the analytics on the
-// sharded executor (internal/shard) over the frozen snapshot instead of a
-// single AAM runtime: one shard per vertex block on real goroutines,
-// cross-shard operators coalesced into batches of C units. ?mech= then
-// selects the per-shard isolation mechanism and ?part={block,edge} the
-// vertex distribution (block vertex counts vs edge-balanced boundaries).
-// Results are identical to the single-runtime path; responses gain
-// shard/messaging counters.
+// Query endpoints accept ?engine={aam,shard,gblas} to pick the execution
+// engine explicitly; the effective engine is echoed in every response
+// (and its trace span), and unknown or conflicting values are rejected
+// with 400:
+//
+//   - aam (the default): the single AAM runtime. ?mech= selects its
+//     isolation mechanism; ?shards= above 1 conflicts.
+//   - shard: the sharded executor (internal/shard) over the frozen
+//     snapshot — requires ?shards=N (N > 1): one shard per vertex block on
+//     real goroutines, cross-shard operators coalesced into batches of C
+//     units. ?mech= selects the per-shard isolation mechanism and
+//     ?part={block,edge} the vertex distribution (block vertex counts vs
+//     edge-balanced boundaries). ?shards=N alone implies engine=shard.
+//   - gblas: the vectorized masked-SpMV engine (internal/gblas), bfs,
+//     sssp and pagerank only; ?shards=, ?mech= and ?part= do not apply.
+//
+// Results are identical across engines (bit-identical BFS level sets,
+// SSSP distances and PageRank ranks); responses gain engine-specific
+// counters (shard/messaging totals, push/pull step splits).
 package serve
 
 import (
@@ -55,6 +66,7 @@ import (
 	"aamgo/internal/algo"
 	"aamgo/internal/dyn"
 	"aamgo/internal/exec"
+	"aamgo/internal/gblas"
 	"aamgo/internal/graph"
 	"aamgo/internal/obs"
 	"aamgo/internal/run"
@@ -156,6 +168,7 @@ type Server struct {
 	// structured logger.
 	reg           *obs.Registry
 	ep            map[string]*endpointMetrics
+	engLat        map[string]*obs.Histogram
 	poolSaturated *obs.Counter
 	slow          *slowlog
 	log           *slog.Logger
@@ -427,29 +440,49 @@ func (s *Server) txConfig(r *http.Request) (dyn.TxConfig, error) {
 	}, nil
 }
 
+// Wire names of the query engines (?engine=).
+const (
+	engAAM   = "aam"
+	engShard = "shard"
+	engGBLAS = "gblas"
+)
+
+// queryMech resolves ?mech= against the server default. Unlike the old
+// sharded-only parsing, an unknown mechanism is a 400 on every query path
+// — nothing falls through silently.
+func (s *Server) queryMech(r *http.Request) (aam.Mechanism, error) {
+	mech := s.cfg.Mechanism
+	if name := r.URL.Query().Get("mech"); name != "" {
+		var ok bool
+		if mech, ok = MechByName(name); !ok {
+			return 0, fmt.Errorf("unknown mechanism %q (want htm, atomic, lock, occ or flatcomb)", name)
+		}
+	}
+	return mech, nil
+}
+
 // shardCfg derives a sharded-executor config from ?shards= (and ?mech=,
 // ?part=). shards == 0 means the single-runtime path. The upper bound
 // mirrors the executor's own sanity cap (64 shards per processor), so
 // every value the endpoint accepts is one the executor will run.
 func (s *Server) shardCfg(r *http.Request) (shard.Config, int, error) {
+	mech, err := s.queryMech(r)
+	if err != nil {
+		return shard.Config{}, 0, err
+	}
 	v := r.URL.Query().Get("shards")
 	if v == "" {
 		if p := r.URL.Query().Get("part"); p != "" {
 			return shard.Config{}, 0, fmt.Errorf("part only applies to the sharded path (add ?shards=N)")
 		}
-		return shard.Config{}, 0, nil
+		// Single-runtime path: the resolved mechanism still rides along so
+		// the aam engine honors ?mech= too.
+		return shard.Config{Mechanism: mech}, 0, nil
 	}
 	maxShards := 64 * runtime.GOMAXPROCS(0)
 	n, err := strconv.Atoi(v)
 	if err != nil || n < 1 || n > maxShards {
 		return shard.Config{}, 0, fmt.Errorf("bad shards %q (want 1..%d on this server)", v, maxShards)
-	}
-	mech := s.cfg.Mechanism
-	if name := r.URL.Query().Get("mech"); name != "" {
-		var ok bool
-		if mech, ok = MechByName(name); !ok {
-			return shard.Config{}, 0, fmt.Errorf("unknown mechanism %q", name)
-		}
 	}
 	part := shard.PartBlock
 	if name := r.URL.Query().Get("part"); name != "" {
@@ -465,6 +498,48 @@ func (s *Server) shardCfg(r *http.Request) (shard.Config, int, error) {
 		}
 	}
 	return shard.Config{Shards: n, BatchSize: s.cfg.C, Mechanism: mech, Part: part}, n, nil
+}
+
+// querySel resolves the engine axis of one query request — ?engine=
+// against ?shards=/?mech=/?part= — and stamps the effective engine into
+// the request's trace span. Unknown and conflicting combinations are
+// errors (the handler answers 400); an absent ?engine= preserves the
+// historical behavior: shard when ?shards=N (N > 1), aam otherwise.
+func (s *Server) querySel(r *http.Request) (string, shard.Config, int, error) {
+	scfg, shards, err := s.shardCfg(r)
+	if err != nil {
+		return "", scfg, 0, err
+	}
+	eng := ""
+	switch name := r.URL.Query().Get("engine"); name {
+	case "":
+		eng = engAAM
+		if shards > 1 {
+			eng = engShard
+		}
+	case engAAM:
+		if shards > 1 {
+			return "", scfg, 0, fmt.Errorf("engine=aam conflicts with shards=%d (the aam engine is unsharded)", shards)
+		}
+		eng = engAAM
+	case engShard:
+		if shards < 2 {
+			return "", scfg, 0, fmt.Errorf("engine=shard needs ?shards=N with N >= 2")
+		}
+		eng = engShard
+	case engGBLAS:
+		if r.URL.Query().Get("shards") != "" {
+			return "", scfg, 0, fmt.Errorf("engine=gblas conflicts with ?shards= (the gblas engine is unsharded)")
+		}
+		if r.URL.Query().Get("mech") != "" {
+			return "", scfg, 0, fmt.Errorf("mech does not apply to the gblas engine")
+		}
+		eng = engGBLAS
+	default:
+		return "", scfg, 0, fmt.Errorf("unknown engine %q (want aam, shard or gblas)", name)
+	}
+	spanOf(r).Engine = eng
+	return eng, scfg, shards, nil
 }
 
 // shardSummary renders the messaging counters of a sharded run and
@@ -643,8 +718,10 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) engineCfg() aam.Config {
-	cfg := aam.Config{M: s.cfg.M, C: s.cfg.C, Mechanism: s.cfg.Mechanism}
+// engineCfg shapes the single-runtime AAM engine; mech is the ?mech=
+// resolved mechanism (shardCfg carries it even on the unsharded path).
+func (s *Server) engineCfg(mech aam.Mechanism) aam.Config {
+	cfg := aam.Config{M: s.cfg.M, C: s.cfg.C, Mechanism: mech}
 	if cfg.Mechanism == aam.MechHTM {
 		cfg.HTM = s.prof.HTMVariant("")
 	}
@@ -675,13 +752,14 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, snap.N())
 		return
 	}
-	scfg, shards, err := s.shardCfg(r)
+	eng, scfg, _, err := s.querySel(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	f := s.timedFreeze(r, snap)
-	if shards > 1 {
+	switch eng {
+	case engShard:
 		t0 := time.Now()
 		res, err := shard.BFS(f, src, scfg)
 		if err != nil {
@@ -697,6 +775,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		}
 		out := map[string]any{
 			"src":          src,
+			"engine":       eng,
 			"epoch":        snap.Epoch(),
 			"n":            f.N,
 			"reached":      reached,
@@ -709,9 +788,43 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeQuery(w, r, out)
 		return
+	case engGBLAS:
+		t0 := time.Now()
+		parents, _, res, err := gblas.EngineBFS(f, src)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.queries.Add(1)
+		reached := 0
+		for _, p := range parents {
+			if p >= 0 {
+				reached++
+			}
+		}
+		out := map[string]any{
+			"src":     src,
+			"engine":  eng,
+			"epoch":   snap.Epoch(),
+			"n":       f.N,
+			"reached": reached,
+			// Steps counts frontier expansions including the final empty
+			// one, so depth matches the sharded response's "levels".
+			"levels": res.Steps - 1,
+			"gblas": map[string]any{
+				"push_steps": res.PushSteps,
+				"pull_steps": res.PullSteps,
+			},
+			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		}
+		if r.URL.Query().Get("full") == "1" {
+			out["parents"] = parents
+		}
+		s.writeQuery(w, r, out)
+		return
 	}
 	b := algo.NewBFS(f, 1, algo.BFSConfig{
-		Mode: algo.BFSAAM, Engine: s.engineCfg(), VisitedCheck: true,
+		Mode: algo.BFSAAM, Engine: s.engineCfg(scfg.Mechanism), VisitedCheck: true,
 	})
 	m := s.machine(b.MemWords(), b.Handlers(nil))
 	t0 := time.Now()
@@ -727,6 +840,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	}
 	out := map[string]any{
 		"src":             src,
+		"engine":          eng,
 		"epoch":           snap.Epoch(),
 		"n":               f.N,
 		"reached":         reached,
@@ -744,12 +858,16 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	scfg, shards, err := s.shardCfg(r)
+	eng, scfg, _, err := s.querySel(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if shards > 1 {
+	if eng == engGBLAS {
+		s.fail(w, http.StatusBadRequest, "engine gblas does not implement components (use aam or shard)")
+		return
+	}
+	if eng == engShard {
 		snap := s.g.Snapshot()
 		t0 := time.Now()
 		res, err := shard.Components(s.timedFreeze(r, snap), scfg)
@@ -764,6 +882,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 		}
 		out := map[string]any{
 			"components":   len(distinct),
+			"engine":       eng,
 			"n":            snap.N(),
 			"epoch":        snap.Epoch(),
 			"rounds":       res.Rounds,
@@ -776,12 +895,19 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 		s.writeQuery(w, r, out)
 		return
 	}
+	// The unsharded path serves the incrementally maintained labels — no
+	// AAM machine runs, so an explicit ?mech= would be silently dropped.
+	if r.URL.Query().Get("mech") != "" {
+		s.fail(w, http.StatusBadRequest, "mech only applies to the sharded components query (add ?shards=N)")
+		return
+	}
 	t0 := time.Now()
 	// One atomic view: count, labels and epoch belong to the same state.
 	snap, count, labels := s.g.ComponentView(r.URL.Query().Get("full") == "1")
 	s.queries.Add(1)
 	out := map[string]any{
 		"components":   count,
+		"engine":       eng,
 		"n":            snap.N(),
 		"epoch":        snap.Epoch(),
 		"wall_time_ns": time.Since(t0).Nanoseconds(),
@@ -823,7 +949,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	scfg, shards, err := s.shardCfg(r)
+	eng, scfg, _, err := s.querySel(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -837,7 +963,8 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "top %d out of range [1,%d]", top, f.N)
 		return
 	}
-	if shards > 1 {
+	switch eng {
+	case engShard:
 		t0 := time.Now()
 		res, err := shard.PageRank(f, damping, iters, scfg)
 		if err != nil {
@@ -848,15 +975,29 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		s.writeQuery(w, r, map[string]any{
 			"iters":        iters,
 			"damping":      damping,
+			"engine":       eng,
 			"epoch":        snap.Epoch(),
 			"top":          topRanked(res.Ranks, top),
 			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
 		})
 		return
+	case engGBLAS:
+		t0 := time.Now()
+		ranks, _ := gblas.EnginePageRank(f, damping, iters)
+		s.queries.Add(1)
+		s.writeQuery(w, r, map[string]any{
+			"iters":        iters,
+			"damping":      damping,
+			"engine":       eng,
+			"epoch":        snap.Epoch(),
+			"top":          topRanked(ranks, top),
+			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		})
+		return
 	}
 	p := algo.NewPageRank(f, 1, algo.PRConfig{
-		Damping: damping, Iterations: iters, Engine: s.engineCfg(),
+		Damping: damping, Iterations: iters, Engine: s.engineCfg(scfg.Mechanism),
 	})
 	m := s.machine(p.MemWords(), p.Handlers(nil))
 	t0 := time.Now()
@@ -867,6 +1008,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	s.writeQuery(w, r, map[string]any{
 		"iters":           iters,
 		"damping":         damping,
+		"engine":          eng,
 		"epoch":           snap.Epoch(),
 		"top":             topRanked(ranks, top),
 		"machine_time_ns": int64(res.Elapsed),
@@ -954,7 +1096,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	scfg, shards, err := s.shardCfg(r)
+	eng, scfg, _, err := s.querySel(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -962,13 +1104,15 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	f := s.timedFreeze(r, snap)
 	wg := weightedView(f, wseed)
 	out := map[string]any{
-		"src":   src,
-		"epoch": snap.Epoch(),
-		"n":     f.N,
-		"wseed": wseed,
+		"src":    src,
+		"engine": eng,
+		"epoch":  snap.Epoch(),
+		"n":      f.N,
+		"wseed":  wseed,
 	}
 	var dists []uint64
-	if shards > 1 {
+	switch eng {
+	case engShard:
 		t0 := time.Now()
 		res, err := shard.SSSP(wg, src, delta, scfg)
 		if err != nil {
@@ -980,11 +1124,25 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		out["delta"] = res.Delta
 		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
-	} else {
+	case engGBLAS:
+		if r.URL.Query().Get("delta") != "" {
+			s.fail(w, http.StatusBadRequest, "delta only applies to the sharded delta-stepping SSSP")
+			return
+		}
+		t0 := time.Now()
+		res, eres, err := gblas.EngineSSSP(wg, src)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		dists = res
+		out["gblas"] = map[string]any{"rounds": eres.Steps}
+		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+	default:
 		a := algo.NewSSSP(wg, 1)
 		m := s.machine(a.MemWords(), a.Handlers(nil))
 		t0 := time.Now()
-		res := m.Run(a.Body(src, s.engineCfg()))
+		res := m.Run(a.Body(src, s.engineCfg(scfg.Mechanism)))
 		dists = a.Dists(m)
 		out["machine_time_ns"] = int64(res.Elapsed)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
@@ -1013,17 +1171,22 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	scfg, shards, err := s.shardCfg(r)
+	eng, scfg, shards, err := s.querySel(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eng == engGBLAS {
+		s.fail(w, http.StatusBadRequest, "engine gblas does not implement mst (use aam or shard)")
 		return
 	}
 	snap := s.g.Snapshot()
 	f := s.timedFreeze(r, snap)
 	out := map[string]any{
-		"n":     f.N,
-		"epoch": snap.Epoch(),
-		"wseed": wseed,
+		"n":      f.N,
+		"engine": eng,
+		"epoch":  snap.Epoch(),
+		"wseed":  wseed,
 	}
 	if f.N == 0 {
 		out["weight"] = 0
@@ -1052,7 +1215,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		b := algo.NewBoruvka(wg)
 		m := s.machine(b.MemWords(), b.Handlers(nil))
 		t0 := time.Now()
-		res := m.Run(b.Body(s.engineCfg()))
+		res := m.Run(b.Body(s.engineCfg(scfg.Mechanism)))
 		labels = b.Components(m)
 		out["weight"] = b.Weight(m)
 		out["machine_time_ns"] = int64(res.Elapsed)
@@ -1083,9 +1246,13 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	scfg, shards, err := s.shardCfg(r)
+	eng, scfg, shards, err := s.querySel(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eng == engGBLAS {
+		s.fail(w, http.StatusBadRequest, "engine gblas does not implement coloring (use aam or shard)")
 		return
 	}
 	// The priority seed orders the sharded Jones-Plassmann coloring; the
@@ -1098,8 +1265,9 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 	snap := s.g.Snapshot()
 	f := s.timedFreeze(r, snap)
 	out := map[string]any{
-		"n":     f.N,
-		"epoch": snap.Epoch(),
+		"n":      f.N,
+		"epoch":  snap.Epoch(),
+		"engine": eng,
 	}
 	var colors []int32
 	if shards > 1 {
@@ -1125,7 +1293,7 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 		c := algo.NewColoring(f)
 		m := s.machine(c.MemWords(), c.Handlers(nil))
 		t0 := time.Now()
-		res := m.Run(c.Body(s.engineCfg(), 0))
+		res := m.Run(c.Body(s.engineCfg(scfg.Mechanism), 0))
 		var used int
 		colors, used = c.Colors(m)
 		out["colors"] = used

@@ -19,6 +19,7 @@ type span struct {
 
 	Epoch   uint64
 	Outcome string // computed | hit | collapsed | 304 | bypass
+	Engine  string // effective query engine (query endpoints only)
 
 	FreezeNS  int64
 	ComputeNS int64
@@ -42,6 +43,9 @@ func (sp *span) traceView() map[string]any {
 		"outcome":    sp.Outcome,
 		"freeze_ns":  sp.FreezeNS,
 		"compute_ns": sp.ComputeNS,
+	}
+	if sp.Engine != "" {
+		v["engine"] = sp.Engine
 	}
 	if sp.Shards > 0 {
 		v["shards"] = sp.Shards

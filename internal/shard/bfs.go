@@ -8,17 +8,6 @@ import (
 	"aamgo/internal/graph"
 )
 
-// Direction-optimizing switch thresholds (Beamer et al., SC'12): switch to
-// pull when the frontier's outgoing arcs exceed 1/dobAlpha of the arcs
-// still unexplored, and back to push when the frontier shrinks below
-// 1/dobBeta of the vertex set. Both inputs are pure functions of the level
-// sets, so the per-level direction choice — and with it every message
-// count — is deterministic for a fixed graph and source.
-const (
-	dobAlpha = 14
-	dobBeta  = 24
-)
-
 // BFSResult carries the sharded BFS tree: Parents[v] is the global parent
 // of v (the source's parent is itself), or -1 when unreachable.
 type BFSResult struct {
@@ -98,12 +87,13 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 	cur[seedWorker] = append(cur[seedWorker], int32(ls))
 
 	// Direction-switch state: nf/mf are the current frontier's vertex and
-	// outgoing-arc counts, explored accumulates the arcs of frontiers
-	// already expanded (so totalArcs-explored approximates the unexplored
-	// remainder the pull heuristic compares against).
-	totalArcs := g.NumEdges()
+	// outgoing-arc counts; the shared optimizer (graph.DirectionOptimizer,
+	// Beamer thresholds) tracks the arcs of frontiers already expanded so
+	// the pull heuristic compares against the unexplored remainder. The
+	// same optimizer drives the gblas engine, so both make identical
+	// per-level decisions.
+	dob := graph.NewDirectionOptimizer(g)
 	nf, mf := 1, int64(g.Degree(src))
-	var explored int64
 	pull := false
 
 	levels, pushLevels, pullLevels := 0, 0, 0
@@ -114,13 +104,7 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 		case DirPull:
 			pull = !g.Directed
 		default:
-			if g.Directed {
-				pull = false
-			} else if !pull {
-				pull = mf > (totalArcs-explored)/dobAlpha
-			} else {
-				pull = nf >= g.N/dobBeta
-			}
+			pull = dob.Decide(nf, mf)
 		}
 
 		if pull {
@@ -184,7 +168,7 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 		}
 		ex.Drain()
 
-		explored += mf
+		dob.Advance(mf)
 		nf, mf = 0, 0
 		for i := range cur {
 			cur[i] = cur[i][:0]
