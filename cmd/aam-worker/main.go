@@ -1,0 +1,305 @@
+// Command aam-worker runs one rank of the distributed shard engine.
+//
+// Worker mode joins a coordinator and serves jobs until it says bye:
+//
+//	aam-worker -join 127.0.0.1:7100
+//
+// Coordinator mode listens for -workers peers, runs the selected sharded
+// algorithms across the cluster, and (with -check) re-runs each one
+// in-process and diffs the results bit for bit:
+//
+//	aam-worker -listen 127.0.0.1:7100 -workers 2 -algos bfs,pagerank -check
+//
+// The exit status reports the check outcome, and -metrics serves the obs
+// registry (including the aam_shard_wire_* and aam_net_* series) over
+// HTTP while the run is in flight.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"aamgo/internal/aam"
+	"aamgo/internal/algo"
+	"aamgo/internal/graph"
+	"aamgo/internal/obs"
+	"aamgo/internal/shard"
+)
+
+func main() {
+	var (
+		join    = flag.String("join", "", "worker mode: coordinator address to join")
+		listen  = flag.String("listen", "", "coordinator mode: address to listen on")
+		workers = flag.Int("workers", 2, "coordinator: worker processes to wait for")
+		algos   = flag.String("algos", "bfs,pagerank", "coordinator: comma-separated algorithms (bfs,pagerank,cc,sssp,mst,coloring)")
+		check   = flag.Bool("check", false, "coordinator: re-run in-process and diff results bit for bit")
+		metrics = flag.String("metrics", "", "serve /metrics and /healthz on this address")
+		metOut  = flag.String("metrics-out", "", "coordinator: write the final /metrics exposition to this file")
+
+		scale = flag.Int("scale", 10, "kron graph: log2 vertex count")
+		deg   = flag.Int("deg", 8, "kron graph: average degree")
+		seed  = flag.Int64("seed", 3, "graph generator seed")
+
+		shards = flag.Int("shards", 8, "shard count")
+		sw     = flag.Int("shard-workers", 1, "workers per shard")
+		batch  = flag.Int("batch", 64, "coalescing batch size")
+		mech   = flag.String("mech", "htm", "htm|atomic|lock|occ|flatcomb")
+
+		src  = flag.Int("src", -1, "bfs/sssp source (-1 = max degree)")
+		iter = flag.Int("iters", 20, "pagerank iterations")
+		damp = flag.Float64("damping", 0.85, "pagerank damping")
+	)
+	flag.Parse()
+
+	if (*join == "") == (*listen == "") {
+		fail(errors.New("need exactly one of -join (worker) or -listen (coordinator)"))
+	}
+	if *metrics != "" {
+		serveMetrics(*metrics)
+	}
+
+	if *join != "" {
+		// Worker: the coordinator may still be binding its listener when we
+		// start, so retry dial-phase failures for a grace window.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			err := shard.JoinCluster(*join)
+			if err == nil {
+				return
+			}
+			var op *net.OpError
+			if errors.As(err, &op) && op.Op == "dial" && time.Now().Before(deadline) {
+				time.Sleep(250 * time.Millisecond)
+				continue
+			}
+			fail(err)
+		}
+	}
+
+	mechanism, err := parseMech(*mech)
+	if err != nil {
+		fail(err)
+	}
+	cfg := shard.Config{Shards: *shards, Workers: *sw, BatchSize: *batch, Mechanism: mechanism}
+
+	g := graph.Kronecker(*scale, *deg, *seed)
+	wg := graph.AttachSymmetricWeights(g, uint64(*seed))
+	source := *src
+	if source < 0 {
+		source = maxDeg(g)
+	}
+	fmt.Printf("graph: kron scale %d, %d vertices, %d directed edges\n", *scale, g.N, g.NumEdges())
+
+	c, err := shard.NewCluster(*listen, *workers)
+	if err != nil {
+		fail(err)
+	}
+	// Close explicitly (not deferred): os.Exit below would skip the
+	// defer and the workers would see EOF instead of a clean bye.
+	fmt.Printf("coordinator: listening on %s for %d workers\n", c.Addr(), *workers)
+	if err := c.Accept(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("coordinator: %d workers joined, cluster is %d ranks\n", *workers, *workers+1)
+
+	failed := false
+	for _, name := range strings.Split(*algos, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var (
+			stats shard.Stats
+			diff  string
+			err   error
+		)
+		t0 := time.Now()
+		switch name {
+		case "bfs":
+			var dres, sres shard.BFSResult
+			dres, err = c.BFS(g, source, cfg)
+			if err == nil {
+				stats = dres.Totals()
+				if *check {
+					if sres, err = shard.BFS(g, source, cfg); err == nil {
+						diff = diffInt32s("depth", algo.BFSDepths(g, source, dres.Parents), algo.BFSDepths(g, source, sres.Parents))
+					}
+				}
+			}
+		case "pagerank":
+			var dres, sres shard.PRResult
+			dres, err = c.PageRank(g, *damp, *iter, cfg)
+			if err == nil {
+				stats = dres.Totals()
+				if *check {
+					if sres, err = shard.PageRank(g, *damp, *iter, cfg); err == nil {
+						diff = diffFloat64s("rank", dres.Ranks, sres.Ranks)
+					}
+				}
+			}
+		case "cc":
+			var dres, sres shard.CCResult
+			dres, err = c.Components(g, cfg)
+			if err == nil {
+				stats = dres.Totals()
+				if *check {
+					if sres, err = shard.Components(g, cfg); err == nil {
+						diff = diffInt32s("label", dres.Labels, sres.Labels)
+					}
+				}
+			}
+		case "sssp":
+			var dres, sres shard.SSSPResult
+			dres, err = c.SSSP(wg, source, 0, cfg)
+			if err == nil {
+				stats = dres.Totals()
+				if *check {
+					if sres, err = shard.SSSP(wg, source, 0, cfg); err == nil {
+						diff = diffUint64s("dist", dres.Dists, sres.Dists)
+					}
+				}
+			}
+		case "mst":
+			var dres, sres shard.MSTResult
+			dres, err = c.MST(wg, cfg)
+			if err == nil {
+				stats = dres.Totals()
+				if *check {
+					if sres, err = shard.MST(wg, cfg); err == nil {
+						diff = diffInt32s("label", dres.Labels, sres.Labels)
+						if diff == "" && dres.Weight != sres.Weight {
+							diff = fmt.Sprintf("forest weight %d vs %d in-process", dres.Weight, sres.Weight)
+						}
+					}
+				}
+			}
+		case "coloring":
+			var dres, sres shard.ColoringResult
+			dres, err = c.Coloring(g, 0, cfg)
+			if err == nil {
+				stats = dres.Totals()
+				if *check {
+					if sres, err = shard.Coloring(g, 0, cfg); err == nil {
+						diff = diffInt32s("color", dres.Colors, sres.Colors)
+					}
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown algorithm %q", name)
+		}
+		elapsed := time.Since(t0)
+		switch {
+		case err != nil:
+			failed = true
+			fmt.Printf("%-9s FAIL  %v\n", name, err)
+		case diff != "":
+			failed = true
+			fmt.Printf("%-9s DIFF  %s\n", name, diff)
+		default:
+			status := "ok"
+			if *check {
+				status = "ok (matches in-process)"
+			}
+			fmt.Printf("%-9s %-22s %8v  wire: %d batches, %d bytes\n",
+				name, status, elapsed.Round(time.Millisecond), stats.WireBatchesSent, stats.WireBytesSent)
+		}
+	}
+	c.Close()
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WritePrometheus(f, obs.Default); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics: exposition written to %s\n", *metOut)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func serveMetrics(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.WritePrometheus(w, obs.Default)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("metrics: serving on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
+}
+
+func parseMech(s string) (aam.Mechanism, error) {
+	switch s {
+	case "htm":
+		return aam.MechHTM, nil
+	case "atomic":
+		return aam.MechAtomic, nil
+	case "lock":
+		return aam.MechLock, nil
+	case "occ":
+		return aam.MechOptimistic, nil
+	case "flatcomb":
+		return aam.MechFlatCombining, nil
+	}
+	return 0, fmt.Errorf("unknown mechanism %q", s)
+}
+
+func maxDeg(g *graph.Graph) int {
+	best, bd := 0, -1
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func diffInt32s(what string, dist, inproc []int32) string {
+	for v := range dist {
+		if dist[v] != inproc[v] {
+			return fmt.Sprintf("%s[%d] = %d distributed vs %d in-process", what, v, dist[v], inproc[v])
+		}
+	}
+	return ""
+}
+
+func diffUint64s(what string, dist, inproc []uint64) string {
+	for v := range dist {
+		if dist[v] != inproc[v] {
+			return fmt.Sprintf("%s[%d] = %d distributed vs %d in-process", what, v, dist[v], inproc[v])
+		}
+	}
+	return ""
+}
+
+func diffFloat64s(what string, dist, inproc []float64) string {
+	for v := range dist {
+		if dist[v] != inproc[v] {
+			return fmt.Sprintf("%s[%d] = %v distributed vs %v in-process", what, v, dist[v], inproc[v])
+		}
+	}
+	return ""
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aam-worker:", err)
+	os.Exit(1)
+}

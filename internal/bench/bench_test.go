@@ -27,6 +27,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"sharded-irregular",
 		"serving",
 		"gblas",
+		"net",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

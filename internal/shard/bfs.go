@@ -79,12 +79,16 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 	var bits []uint64
 
 	t0 := time.Now()
-	// Seed the source into its owner shard.
+	// Seed the source into its owner shard. Every rank stores the mark
+	// (replicas must agree), but only the owning rank enqueues the source
+	// on a frontier segment — its worker expands it.
 	owner := ex.Part.Owner(src)
 	ls := ex.Part.Local(src)
 	ex.shards[owner].Store(ls, uint64(src)+1)
-	seedWorker := owner * cfg.Workers // worker 0 of the owner shard
-	cur[seedWorker] = append(cur[seedWorker], int32(ls))
+	if ex.Owns(owner) {
+		seedWorker := owner * cfg.Workers // worker 0 of the owner shard
+		cur[seedWorker] = append(cur[seedWorker], int32(ls))
+	}
 
 	// Direction-switch state: nf/mf are the current frontier's vertex and
 	// outgoing-arc counts; the shared optimizer (graph.DirectionOptimizer,
@@ -121,6 +125,9 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 					atomic.OrUint64(&bits[u>>6], 1<<(uint(u)&63))
 				}
 			})
+			// Each rank set bits only for its own frontier segments; OR the
+			// partial bitmaps into the global frontier (no-op in-process).
+			ex.AllOr(bits)
 			ex.Parallel(func(w *Worker) {
 				s := w.S
 				i := w.Index()
@@ -178,6 +185,11 @@ func BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
 				mf += int64(g.Degree(base + int(lv)))
 			}
 		}
+		// Frontier segments are rank-local; sum the counts machine-wide so
+		// every rank takes the same direction and termination decisions.
+		agg := [2]uint64{uint64(nf), uint64(mf)}
+		ex.AllSum(agg[:])
+		nf, mf = int(agg[0]), int64(agg[1])
 		cur, next = next, cur
 		if nf == 0 {
 			break

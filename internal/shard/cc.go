@@ -78,7 +78,11 @@ func Components(g *graph.Graph, cfg Config) (CCResult, error) {
 		for _, c := range changed {
 			total += c
 		}
-		if total == 0 {
+		// changed is rank-local (commit hooks run at the owner); the fixed
+		// point must be global, so sum before deciding (no-op in-process).
+		agg := [1]uint64{total}
+		ex.AllSum(agg[:])
+		if agg[0] == 0 {
 			break
 		}
 	}

@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// The cluster layer is the session protocol over the tcp transport: a
+// coordinator process listens, N worker processes join, and each
+// algorithm call becomes a job — the coordinator ships the graph, the
+// parameters and the normalized config to every worker (ftJob), every
+// rank runs the same SPMD driver with a tcpTransport plugged into its
+// executor, and the run's collectives keep the ranks in lockstep until
+// Result() merges the counters. Results are bit-identical to the
+// in-process engine; the coordinator returns them, the workers discard
+// theirs.
+//
+// Coordinator:
+//
+//	c, _ := shard.NewCluster("127.0.0.1:0", 2)
+//	// ... workers join c.Addr() ...
+//	if err := c.Accept(); err != nil { ... }
+//	res, err := c.BFS(g, 0, shard.Config{Shards: 8})
+//	c.Close()
+//
+// Worker: shard.JoinCluster(addr) serves jobs until the coordinator says
+// bye (cmd/aam-worker wraps exactly this).
+
+// handshakeTimeout bounds Accept's wait for each worker and the
+// hello/welcome exchange.
+const handshakeTimeout = 60 * time.Second
+
+// jobSpec is one algorithm invocation shipped to every worker.
+type jobSpec struct {
+	Name   string
+	Words  int // reserved (state width is the runner's business)
+	Params []uint64
+	Cfg    Config
+	G      *graph.Graph
+}
+
+// jobRunners maps job names to SPMD entry points; every rank — the
+// coordinator through Cluster.run's closure, workers through this table
+// — must execute the same driver. Tests register extra runners (the
+// package is internal, so the table is package-private).
+var jobRunners = map[string]func(g *graph.Graph, params []uint64, cfg Config) error{
+	"bfs": func(g *graph.Graph, p []uint64, cfg Config) error {
+		_, err := BFS(g, int(int64(p[0])), cfg)
+		return err
+	},
+	"pagerank": func(g *graph.Graph, p []uint64, cfg Config) error {
+		_, err := PageRank(g, math.Float64frombits(p[0]), int(int64(p[1])), cfg)
+		return err
+	},
+	"cc": func(g *graph.Graph, p []uint64, cfg Config) error {
+		_, err := Components(g, cfg)
+		return err
+	},
+	"sssp": func(g *graph.Graph, p []uint64, cfg Config) error {
+		_, err := SSSP(g, int(int64(p[0])), p[1], cfg)
+		return err
+	},
+	"mst": func(g *graph.Graph, p []uint64, cfg Config) error {
+		_, err := MST(g, cfg)
+		return err
+	},
+	"coloring": func(g *graph.Graph, p []uint64, cfg Config) error {
+		_, err := Coloring(g, p[0], cfg)
+		return err
+	},
+}
+
+// Cluster is the coordinator's handle: rank 0 of a coordinator + N
+// workers machine. Not safe for concurrent job submission; runs are
+// serialized by the protocol anyway.
+type Cluster struct {
+	node *node
+	ln   net.Listener
+	err  error // sticky protocol failure; poisons subsequent runs
+}
+
+// NewCluster listens on addr for workers peers to join. Call Accept to
+// wait for all of them; Addr gives the bound address (useful with
+// ":0").
+func NewCluster(addr string, workers int) (*Cluster, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("shard: cluster needs >= 1 worker, got %d", workers)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		node: &node{rank: 0, nranks: workers + 1, links: make([]*link, workers+1)},
+		ln:   ln,
+	}, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+// Accept waits for every worker to join and completes the
+// hello/welcome handshake, assigning ranks in connection order.
+func (c *Cluster) Accept() error {
+	for r := 1; r < c.node.nranks; r++ {
+		if tl, ok := c.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(handshakeTimeout))
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("shard: waiting for worker %d/%d: %w", r, c.node.nranks-1, err)
+		}
+		l := newLink(conn)
+		conn.SetDeadline(time.Now().Add(handshakeTimeout))
+		ft, _, err := readFrame(l.br)
+		if err != nil || ft != ftHello {
+			conn.Close()
+			return fmt.Errorf("shard: worker %d handshake: got frame %d, err %v", r, ft, err)
+		}
+		var welcome [8]byte
+		putU32(welcome[0:4], uint32(r))
+		putU32(welcome[4:8], uint32(c.node.nranks))
+		if err := l.writeFrame(ftWelcome, welcome[:]); err != nil {
+			conn.Close()
+			return fmt.Errorf("shard: worker %d welcome: %w", r, err)
+		}
+		conn.SetDeadline(time.Time{})
+		c.node.links[r] = l
+		go c.node.readLoop(l)
+	}
+	return nil
+}
+
+// run executes one job across the cluster: broadcast the spec, run fn
+// (the coordinator's typed driver closure) with a tcp transport wired
+// into the config, and unwind any protocol failure into an error. A
+// protocol failure poisons the cluster — ranks can no longer be assumed
+// aligned — while a plain algorithm error does not (it is deterministic
+// from the shared spec, so every rank computed the same one).
+func (c *Cluster) run(name string, params []uint64, cfg Config, g *graph.Graph, fn func(cfg Config) error) (err error) {
+	if c.err != nil {
+		return fmt.Errorf("shard: cluster poisoned by earlier failure: %w", c.err)
+	}
+	cfg = cfg.withDefaults()
+	cfg.transport = nil // never ship a transport; each rank plugs its own
+	spec := jobSpec{Name: name, Params: params, Cfg: cfg, G: g}
+	payload, err := encodeJob(spec)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			nf, ok := r.(netFailure)
+			if !ok {
+				panic(r)
+			}
+			// Protocol failure: the ranks can no longer be assumed
+			// aligned — poison the cluster. (A plain algorithm error from
+			// fn is deterministic from the shared spec; every rank
+			// computed the same one, so the cluster stays usable.)
+			err = nf.err
+			c.err = err
+		}
+		c.node.detachExec()
+	}()
+	c.node.startJob(shardOwners(cfg.Shards, c.node.nranks))
+	for r := 1; r < c.node.nranks; r++ {
+		if err := c.node.links[r].writeFrame(ftJob, payload); err != nil {
+			c.err = err
+			return err
+		}
+	}
+	cfg.transport = &tcpTransport{node: c.node}
+	return fn(cfg)
+}
+
+// BFS runs the distributed direction-optimizing BFS; results are
+// bit-identical (per-vertex levels) to the in-process engine.
+func (c *Cluster) BFS(g *graph.Graph, src int, cfg Config) (BFSResult, error) {
+	var res BFSResult
+	err := c.run("bfs", []uint64{uint64(int64(src))}, cfg, g, func(cfg Config) error {
+		var err error
+		res, err = BFS(g, src, cfg)
+		return err
+	})
+	return res, err
+}
+
+// PageRank runs the distributed fixed-point PageRank; rank bits are
+// identical to the in-process engine.
+func (c *Cluster) PageRank(g *graph.Graph, damping float64, iterations int, cfg Config) (PRResult, error) {
+	var res PRResult
+	params := []uint64{math.Float64bits(damping), uint64(int64(iterations))}
+	err := c.run("pagerank", params, cfg, g, func(cfg Config) error {
+		var err error
+		res, err = PageRank(g, damping, iterations, cfg)
+		return err
+	})
+	return res, err
+}
+
+// Components runs the distributed min-label connected components.
+func (c *Cluster) Components(g *graph.Graph, cfg Config) (CCResult, error) {
+	var res CCResult
+	err := c.run("cc", nil, cfg, g, func(cfg Config) error {
+		var err error
+		res, err = Components(g, cfg)
+		return err
+	})
+	return res, err
+}
+
+// SSSP runs the distributed delta-stepping SSSP; distance bits are
+// identical to the in-process engine.
+func (c *Cluster) SSSP(g *graph.Graph, src int, delta uint64, cfg Config) (SSSPResult, error) {
+	var res SSSPResult
+	err := c.run("sssp", []uint64{uint64(int64(src)), delta}, cfg, g, func(cfg Config) error {
+		var err error
+		res, err = SSSP(g, src, delta, cfg)
+		return err
+	})
+	return res, err
+}
+
+// MST runs the distributed Borůvka MST.
+func (c *Cluster) MST(g *graph.Graph, cfg Config) (MSTResult, error) {
+	var res MSTResult
+	err := c.run("mst", nil, cfg, g, func(cfg Config) error {
+		var err error
+		res, err = MST(g, cfg)
+		return err
+	})
+	return res, err
+}
+
+// Coloring runs the distributed Jones–Plassmann coloring.
+func (c *Cluster) Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringResult, error) {
+	var res ColoringResult
+	err := c.run("coloring", []uint64{seed}, cfg, g, func(cfg Config) error {
+		var err error
+		res, err = Coloring(g, seed, cfg)
+		return err
+	})
+	return res, err
+}
+
+// Close releases the cluster: workers get a clean bye (their JoinCluster
+// returns nil) and every connection closes.
+func (c *Cluster) Close() error {
+	for r := 1; r < c.node.nranks; r++ {
+		if l := c.node.links[r]; l != nil {
+			l.writeFrame(ftBye, nil)
+			l.conn.Close()
+		}
+	}
+	return c.ln.Close()
+}
+
+// JoinCluster dials a coordinator and serves jobs until it says bye
+// (returning nil) or the session fails (returning the failure). Each job
+// runs the same SPMD driver the coordinator runs, with this process's
+// rank of the shard space.
+func JoinCluster(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	l := newLink(conn)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := l.writeFrame(ftHello, nil); err != nil {
+		conn.Close()
+		return err
+	}
+	ft, payload, err := readFrame(l.br)
+	if err != nil || ft != ftWelcome || len(payload) != 8 {
+		conn.Close()
+		return fmt.Errorf("shard: join handshake: frame %d (%d bytes), err %v", ft, len(payload), err)
+	}
+	conn.SetDeadline(time.Time{})
+	rank := int(getU32(payload[0:4]))
+	nranks := int(getU32(payload[4:8]))
+	if rank < 1 || rank >= nranks {
+		conn.Close()
+		return fmt.Errorf("shard: coordinator assigned rank %d of %d", rank, nranks)
+	}
+	n := &node{rank: rank, nranks: nranks, links: []*link{l}}
+	go n.readLoop(l)
+	return n.serveJobs(l)
+}
+
+// serveJobs is the worker's main loop: run jobs as they arrive. A job's
+// algorithm error is deterministic from the spec — the coordinator
+// computed the same one — so the worker keeps serving; protocol failures
+// end the session.
+func (n *node) serveJobs(l *link) error {
+	for {
+		select {
+		case payload := <-l.jobCh:
+			if err, fatal := n.runJob(payload); fatal {
+				l.writeFrame(ftError, []byte(err.Error()))
+				l.conn.Close()
+				return err
+			}
+		case <-l.byeCh:
+			return nil
+		case err := <-l.errCh:
+			return err
+		}
+	}
+}
+
+// runJob decodes and executes one job on this rank.
+func (n *node) runJob(payload []byte) (err error, fatal bool) {
+	spec, err := decodeJob(payload)
+	if err != nil {
+		return err, true
+	}
+	runner := jobRunners[spec.Name]
+	if runner == nil {
+		return fmt.Errorf("shard: unknown job %q", spec.Name), true
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fatal = true
+			if nf, ok := r.(netFailure); ok {
+				err = nf.err
+			} else {
+				err = fmt.Errorf("shard: job %q panicked: %v", spec.Name, r)
+			}
+		}
+		n.detachExec()
+	}()
+	cfg := spec.Cfg // already normalized by the coordinator's run()
+	cfg.transport = &tcpTransport{node: n}
+	n.startJob(shardOwners(cfg.Shards, n.nranks))
+	return runner(spec.G, spec.Params, cfg), false
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -141,7 +141,11 @@ func Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringResult, error) {
 		for i := range cur {
 			total += len(cur[i])
 		}
-		if total == 0 {
+		// Frontier segments are rank-local; every rank must agree on
+		// termination (no-op in-process).
+		agg := [1]uint64{uint64(total)}
+		ex.AllSum(agg[:])
+		if agg[0] == 0 {
 			break
 		}
 		rounds++

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,17 @@ type Executor struct {
 	shards []*Shard
 	epochs int
 	pool   msgPool
+
+	// words is the per-vertex state width; the transport's barrier uses it
+	// to size the replicated state regions it synchronizes.
+	words int
+	// tr carries cross-shard batches (transport_inproc.go by default).
+	// rank/nranks and the shard→owner map come from it: shards owned by
+	// this process run workers; the rest hold state replicas only.
+	tr        Transport
+	rank      int
+	nranks    int
+	shardRank []int
 }
 
 // Shard owns one contiguous vertex block and its state words.
@@ -120,6 +132,7 @@ type Worker struct {
 
 	out   [][]message // per-destination coalescing buffers
 	cache [][]message // local buffer free-list (recycle fast path)
+	wire  []byte      // frame scratch for wire sends (tcp transport only)
 	stats Stats
 }
 
@@ -132,7 +145,16 @@ func New(g *graph.Graph, words int, cfg Config) (*Executor, error) {
 	if words < 1 {
 		words = 1
 	}
-	ex := &Executor{G: g, cfg: cfg}
+	ex := &Executor{G: g, cfg: cfg, words: words}
+	ex.tr = cfg.transport
+	if ex.tr == nil {
+		ex.tr = &inprocTransport{}
+	}
+	ex.rank, ex.nranks = ex.tr.endpoints()
+	if ex.nranks < 1 || ex.rank < 0 || ex.rank >= ex.nranks {
+		return nil, fmt.Errorf("shard: transport reports rank %d of %d", ex.rank, ex.nranks)
+	}
+	ex.shardRank = shardOwners(cfg.Shards, ex.nranks)
 	switch cfg.Part {
 	case PartEdge:
 		ex.Part = graph.NewEdgePartition(g, cfg.Shards)
@@ -150,25 +172,45 @@ func New(g *graph.Graph, words int, cfg Config) (*Executor, error) {
 			mech:  cfg.mechanism(id),
 			state: make([]uint64, words*L),
 		}
-		switch s.mech {
-		case aam.MechLock:
-			s.locks = make([]uint32, L)
-		case aam.MechOptimistic:
-			s.vers = make([]uint64, L)
-		case aam.MechFlatCombining:
-			s.fcSlots = make([]fcSlot, cfg.Workers)
-		}
-		for wid := 0; wid < cfg.Workers; wid++ {
-			s.workers = append(s.workers, &Worker{
-				S:     s,
-				ID:    wid,
-				out:   make([][]message, cfg.Shards),
-				cache: make([][]message, 0, workerBufCache),
-			})
+		// Non-owned shards are state replicas (refreshed by the transport's
+		// barrier): no workers, no isolation scaffolding — every operator on
+		// them applies at the owning process.
+		if ex.shardRank[id] == ex.rank {
+			switch s.mech {
+			case aam.MechLock:
+				s.locks = make([]uint32, L)
+			case aam.MechOptimistic:
+				s.vers = make([]uint64, L)
+			case aam.MechFlatCombining:
+				s.fcSlots = make([]fcSlot, cfg.Workers)
+			}
+			for wid := 0; wid < cfg.Workers; wid++ {
+				s.workers = append(s.workers, &Worker{
+					S:     s,
+					ID:    wid,
+					out:   make([][]message, cfg.Shards),
+					cache: make([][]message, 0, workerBufCache),
+				})
+			}
 		}
 		ex.shards = append(ex.shards, s)
 	}
+	ex.tr.attach(ex)
 	return ex, nil
+}
+
+// shardOwners block-distributes shard ids over nranks processes: rank r
+// owns [r*shards/nranks, (r+1)*shards/nranks). Every process computes the
+// same map from the shared config, so ownership needs no negotiation.
+func shardOwners(shards, nranks int) []int {
+	owners := make([]int, shards)
+	for r := 0; r < nranks; r++ {
+		lo, hi := r*shards/nranks, (r+1)*shards/nranks
+		for id := lo; id < hi; id++ {
+			owners[id] = r
+		}
+	}
+	return owners
 }
 
 // Register adds an operator and returns its id.
@@ -186,12 +228,14 @@ func (ex *Executor) Shards() []*Shard { return ex.shards }
 // Epochs returns the number of Drain barriers executed so far.
 func (ex *Executor) Epochs() int { return ex.epochs }
 
-// Workers returns the total worker count across shards.
+// Workers returns the total worker count across shards (all processes).
 func (ex *Executor) Workers() int { return ex.cfg.Shards * ex.cfg.Workers }
 
-// Parallel runs fn once per worker and waits for all of them; returning
-// from it is a full barrier (the coordinator observes every worker's
-// writes, and vice versa on the next call).
+// Parallel runs fn once per locally-owned worker and waits for all of
+// them; returning from it is a full barrier (the coordinator observes
+// every worker's writes, and vice versa on the next call). On a
+// multi-process transport the barrier spans every rank and refreshes the
+// non-owned state replicas, so the guarantee holds machine-wide.
 func (ex *Executor) Parallel(fn func(w *Worker)) {
 	var wg sync.WaitGroup
 	for _, s := range ex.shards {
@@ -204,44 +248,51 @@ func (ex *Executor) Parallel(fn func(w *Worker)) {
 		}
 	}
 	wg.Wait()
+	ex.tr.barrier()
 }
 
 // Drain is the epoch barrier: it flushes every coalescing buffer and
 // applies inboxed batches until the whole machine is quiescent — no unit
-// buffered, no batch undelivered. Batch application may itself spawn
-// (OnCommit chains), so the loop re-flushes until a clean pass.
+// buffered, no batch undelivered, no frame in flight. Quiescence is the
+// transport's call (a counter exchange across ranks on tcp). Batch
+// application may itself spawn (OnCommit chains), so the loop re-flushes
+// until a clean pass.
 func (ex *Executor) Drain() {
 	start := time.Now()
 	defer func() { metDrainLatency.RecordSince(int64(time.Since(start))) }()
 	ex.epochs++
 	for {
 		ex.Parallel(func(w *Worker) { w.FlushAll() })
-		if ex.pendingBatches() == 0 {
+		if ex.tr.quiesced() {
 			return
 		}
 		ex.Parallel(func(w *Worker) { w.S.drainInbox(w) })
 	}
 }
 
-// pendingBatches counts undelivered batches; called between Parallel
-// phases only.
-func (ex *Executor) pendingBatches() int {
-	n := 0
-	for _, s := range ex.shards {
-		s.inbox.mu.Lock()
-		n += len(s.inbox.batches)
-		s.inbox.mu.Unlock()
-	}
-	return n
-}
+// pendingBatches counts batches delivered to this process but not yet
+// applied; called between Parallel phases only. The count is
+// transport-owned: in-flight wire frames belong to the sender until the
+// receiver enqueues them, which is why Drain asks quiesced() — not this —
+// for the global verdict.
+func (ex *Executor) pendingBatches() int { return ex.tr.pending() }
 
-// Result assembles the per-shard counters; call after the run.
+// Result assembles the per-shard counters; call after the run. On a
+// multi-process transport the counters are merged across ranks with a
+// sum-allreduce (each shard's counters are non-zero only at its owner),
+// so every rank returns the same machine-wide view — which also makes
+// Result a synchronization point all ranks must reach.
 func (ex *Executor) Result() Result {
 	r := Result{Epochs: ex.epochs, PerShard: make([]Stats, len(ex.shards))}
 	for i, s := range ex.shards {
 		for _, w := range s.workers {
 			r.PerShard[i].add(w.stats)
 		}
+	}
+	if ex.nranks > 1 {
+		flat := flattenStats(r.PerShard)
+		ex.tr.allreduce(redSum, flat)
+		unflattenStats(flat, r.PerShard)
 	}
 	return r
 }
@@ -296,28 +347,29 @@ func (w *Worker) Spawn(op int, gv int, arg uint64) bool {
 // Pending returns the number of units buffered toward dst.
 func (w *Worker) Pending(dst int) int { return len(w.out[dst]) }
 
-// flush hands dst's buffered units to the owner shard as one batch. The
-// buffer itself is handed off (no copy); the replacement comes from the
-// recycle pool — the applying worker returns every consumed batch there —
-// so the steady-state flush path performs zero allocations. Recycled
-// buffers keep the capacity of whatever traffic they last carried, which
-// tracks the effective batch size under every flush policy (BatchSize for
-// size-triggered flushes, the full epoch volume under FlushByEpoch).
+// flush hands dst's buffered units to the owner shard as one batch,
+// through the transport: an inbox append when this process owns dst, a
+// wire frame otherwise. The buffer itself is handed off (no copy); the
+// replacement comes from the recycle pool — the applying worker returns
+// every consumed batch there, and wire sends recycle theirs immediately
+// after encoding — so the steady-state flush path performs zero
+// allocations in-process. Recycled buffers keep the capacity of whatever
+// traffic they last carried, which tracks the effective batch size under
+// every flush policy (BatchSize for size-triggered flushes, the full
+// epoch volume under FlushByEpoch).
 func (w *Worker) flush(dst int) {
 	batch := w.out[dst]
 	if len(batch) == 0 {
 		return
 	}
 	w.out[dst] = w.getBuf(len(batch))
-	t := w.S.ex.shards[dst]
-	t.inbox.mu.Lock()
-	t.inbox.batches = append(t.inbox.batches, batch)
-	t.inbox.mu.Unlock()
+	n := uint64(len(batch))
+	w.S.ex.tr.deliver(w, dst, batch)
 	w.stats.RemoteBatchesSent++
-	w.stats.RemoteUnitsSent += uint64(len(batch))
+	w.stats.RemoteUnitsSent += n
 	metRemoteBatchesSent.Inc()
-	metRemoteUnitsSent.Add(uint64(len(batch)))
-	metFlushBatchUnits.Record(uint64(len(batch)))
+	metRemoteUnitsSent.Add(n)
+	metFlushBatchUnits.Record(n)
 }
 
 // getBuf returns an empty message buffer: the worker's local cache first,

@@ -145,7 +145,11 @@ func MST(g *graph.Graph, cfg Config) (MSTResult, error) {
 		for _, p := range proposals {
 			total += p
 		}
-		if total == 0 {
+		// Proposal counters are rank-local; terminate only when no rank
+		// proposed anything (no-op in-process).
+		agg := [1]uint64{total}
+		ex.AllSum(agg[:])
+		if agg[0] == 0 {
 			break
 		}
 
@@ -219,7 +223,9 @@ func MST(g *graph.Graph, cfg Config) (MSTResult, error) {
 			for _, c := range jumps {
 				changed += c
 			}
-			if changed == 0 {
+			agg := [1]uint64{changed}
+			ex.AllSum(agg[:])
+			if agg[0] == 0 {
 				break
 			}
 		}
@@ -243,6 +249,12 @@ func MST(g *graph.Graph, cfg Config) (MSTResult, error) {
 		out.Edges += len(arcs[i])
 		out.Arcs = append(out.Arcs, arcs[i]...)
 	}
+	// Forest edges are selected at each root's owning rank: merge the
+	// weight and edge totals machine-wide. Arcs stays rank-local under a
+	// multi-process transport (each rank reports the arcs it selected).
+	wagg := [2]uint64{out.Weight, uint64(out.Edges)}
+	ex.AllSum(wagg[:])
+	out.Weight, out.Edges = wagg[0], int(wagg[1])
 	res := ex.Result()
 	res.Elapsed = elapsed
 	out.Result = res

@@ -19,4 +19,18 @@ var (
 	metBufferRecycles    = obs.Default.Counter("aam_shard_buffer_recycles_total")
 	metFlushBatchUnits   = obs.Default.Histogram("aam_shard_flush_batch_units")
 	metDrainLatency      = obs.Default.Histogram("aam_shard_drain_latency_ns")
+
+	// Wire-level series (tcp transport only; all zero in-process). Batch
+	// frames are counted at the origin rank — relayed frames don't double
+	// count — while the aam_net_* frame/byte totals count every frame this
+	// process put on or took off a socket, relays included.
+	metWireBatchesSent = obs.Default.Counter("aam_shard_wire_batches_sent_total")
+	metWireBatchesRecv = obs.Default.Counter("aam_shard_wire_batches_recv_total")
+	metWireBatchBytes  = obs.Default.Counter("aam_shard_wire_batch_bytes_total")
+	metNetFramesSent   = obs.Default.Counter("aam_net_frames_sent_total")
+	metNetFramesRecv   = obs.Default.Counter("aam_net_frames_recv_total")
+	metNetBytesSent    = obs.Default.Counter("aam_net_bytes_sent_total")
+	metNetBytesRecv    = obs.Default.Counter("aam_net_bytes_recv_total")
+	metNetCollectives  = obs.Default.Counter("aam_net_collectives_total")
+	metNetStateBytes   = obs.Default.Counter("aam_net_state_sync_bytes_total")
 )

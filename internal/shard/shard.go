@@ -176,6 +176,12 @@ type Config struct {
 	// Dir selects the BFS traversal strategy (DirAuto, DirPush, DirPull);
 	// ignored by the other algorithms.
 	Dir Direction
+
+	// transport, when non-nil, carries cross-shard batches instead of the
+	// default in-process inbox delivery. Set by the cluster layer
+	// (cluster.go) on every peer process of a distributed run; external
+	// callers go through NewCluster / JoinCluster.
+	transport Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -248,6 +254,13 @@ type Stats struct {
 	// misses). Buffers circulate sender→inbox→pool, so after warm-up the
 	// message path allocates nothing and this counter stops moving.
 	BufferAllocs uint64
+
+	// WireBatchesSent / WireBytesSent count batches that actually crossed
+	// a process boundary (tcp transport only; frame header included in the
+	// byte count). Always zero in-process — a subset of the Remote*Sent
+	// counters above, which keep counting every cross-shard flush.
+	WireBatchesSent uint64
+	WireBytesSent   uint64
 }
 
 // add accumulates o into s.
@@ -264,6 +277,8 @@ func (s *Stats) add(o Stats) {
 	s.Serialized += o.Serialized
 	s.Combined += o.Combined
 	s.BufferAllocs += o.BufferAllocs
+	s.WireBatchesSent += o.WireBatchesSent
+	s.WireBytesSent += o.WireBytesSent
 }
 
 // Ops returns the total operator applications this shard performed.

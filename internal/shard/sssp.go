@@ -205,9 +205,11 @@ func SSSP(g *graph.Graph, src int, delta uint64, cfg Config) (SSSPResult, error)
 	t0 := time.Now()
 	owner := ex.Part.Owner(src)
 	ls := ex.Part.Local(src)
-	ex.shards[owner].Store(ls, 1) // dist 0
-	queued[owner*L+ls] = 1        // bucket 0
-	rings[owner*ex.cfg.Workers].push(0, int32(ls))
+	ex.shards[owner].Store(ls, 1) // dist 0 (every rank: replicas agree)
+	if ex.Owns(owner) {
+		queued[owner*L+ls] = 1 // bucket 0
+		rings[owner*ex.cfg.Workers].push(0, int32(ls))
+	}
 
 	// nextBucket scans the ring window ahead of the monotone cursor; every
 	// live bucket lies in [cur, cur+window) by the ring invariant.
@@ -225,10 +227,18 @@ func SSSP(g *graph.Graph, src int, delta uint64, cfg Config) (SSSPResult, error)
 	processed := 0
 	cursor := uint64(0)
 	for {
-		b, ok := nextBucket(cursor)
-		if !ok {
+		// Rings are rank-local; the cursor must advance to the smallest
+		// non-empty bucket machine-wide (no-op in-process).
+		cand := infDist
+		if b, ok := nextBucket(cursor); ok {
+			cand = b
+		}
+		agg := [1]uint64{cand}
+		ex.AllMin(agg[:])
+		if agg[0] == infDist {
 			break
 		}
+		b := agg[0]
 		processed++
 		// Inner loop: re-process bucket b until its lists stop refilling
 		// (zero-cost and small-weight relaxations land back in b).
@@ -262,14 +272,17 @@ func SSSP(g *graph.Graph, src int, delta uint64, cfg Config) (SSSPResult, error)
 				r.recycle(list)
 			})
 			ex.Drain()
-			refilled := false
+			refilled := uint64(0)
 			for _, r := range rings {
 				if r.pending(b) > 0 {
-					refilled = true
+					refilled = 1
 					break
 				}
 			}
-			if !refilled {
+			// A bucket refilled anywhere keeps every rank in the inner loop.
+			agg := [1]uint64{refilled}
+			ex.AllSum(agg[:])
+			if agg[0] == 0 {
 				break
 			}
 		}

@@ -1,0 +1,577 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The tcp transport runs one executor per peer process (rank) in SPMD
+// style: every rank executes the same algorithm driver over the same
+// graph, owns the block of shards shardOwners assigns it, and holds
+// replicas of every other shard's state. Three protocol pieces make that
+// equivalent to the single-process executor:
+//
+//   - Batches for remote-owned shards travel as ftBatch frames and land
+//     in the owner's inbox exactly as a local flush would (wire.go).
+//     Topology is a star: workers hold one connection to the coordinator,
+//     which relays worker→worker frames — frames are counted once, at
+//     the origin rank, so the wire metrics are topology-independent.
+//   - The barrier ending every Parallel phase allgathers owned state
+//     regions, so the quiescent cross-shard reads the algorithm drivers
+//     perform between phases (MST component lookups, coloring palettes,
+//     result gathers) read replicas that are exactly the owners' words.
+//   - Drain quiescence is a counter exchange: each rank contributes
+//     (wire batches sent at origin, wire batches enqueued at destination,
+//     batches pending in local inboxes); the machine is quiescent iff
+//     sent == enqueued and nothing is pending. Sends only happen inside
+//     Parallel phases and the exchange is itself a barrier, so the
+//     verdict cannot race with new traffic; the enqueue-then-count
+//     ordering in deliverLocal makes a late arrival trip at least one of
+//     the two conditions. See DESIGN.md §10 for the full argument.
+//
+// Every collective carries a check word (session fingerprint XOR
+// collective ordinal) and both sides verify it: a desynchronized rank —
+// diverged op registry, skipped barrier, mismatched config — fails
+// loudly instead of reducing garbage.
+//
+// Protocol failures surface as netFailure panics, recovered at the job
+// boundary (Cluster.run / node.serveJobs). A connection failure inside a
+// worker goroutine's flush is fatal to the process — the May-Fail
+// one-way protocol has no retransmit story, by design.
+
+// collTimeout bounds any single collective wait; a peer that dies
+// mid-job turns into an error instead of a hang.
+const collTimeout = 2 * time.Minute
+
+// netFailure wraps a transport-layer error for the panic/recover hop
+// from deep inside the executor to the job boundary.
+type netFailure struct{ err error }
+
+// tcpTransport adapts one node (process-wide cluster membership) to one
+// executor run. A fresh instance is made per job: the collective ordinal
+// and fingerprint restart with it, keeping every rank's check sequence
+// aligned.
+type tcpTransport struct {
+	node *node
+	ex   *Executor
+	fp   uint64 // session fingerprint, computed at first collective
+	ord  uint64 // collective ordinal
+}
+
+func (t *tcpTransport) Name() string          { return "tcp" }
+func (t *tcpTransport) endpoints() (int, int) { return t.node.rank, t.node.nranks }
+func (t *tcpTransport) pending() int          { return localPending(t.ex) }
+
+func (t *tcpTransport) attach(ex *Executor) {
+	t.ex = ex
+	t.node.attachExec(ex)
+}
+
+// nextCheck returns the check word for the next collective. The
+// fingerprint folds in everything the ranks must agree on — op registry,
+// config shape, state width, graph size — and is computed lazily so it
+// sees the full op registry (operators register after New, before the
+// first Parallel).
+func (t *tcpTransport) nextCheck() uint64 {
+	if t.fp == 0 {
+		t.fp = execFingerprint(t.ex)
+	}
+	t.ord++
+	return t.fp ^ t.ord
+}
+
+func execFingerprint(ex *Executor) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(ex.cfg.Shards))
+	mix(uint64(ex.cfg.Workers))
+	mix(uint64(ex.words))
+	mix(uint64(ex.G.N))
+	mix(uint64(ex.nranks))
+	for _, op := range ex.ops {
+		for i := 0; i < len(op.Name); i++ {
+			h ^= uint64(op.Name[i])
+			h *= prime
+		}
+		h *= prime
+	}
+	return h
+}
+
+// deliver implements the transport seam of Worker.flush: an inbox append
+// for locally-owned shards (identical to inproc), a framed wire send
+// otherwise. The batch buffer is recycled immediately after encoding —
+// the wire carries a copy — so the sender's buffer circulation is
+// unchanged.
+func (t *tcpTransport) deliver(w *Worker, dst int, batch []message) {
+	ex, n := t.ex, t.node
+	if ex.shardRank[dst] == n.rank {
+		s := ex.shards[dst]
+		s.inbox.mu.Lock()
+		s.inbox.batches = append(s.inbox.batches, batch)
+		s.inbox.mu.Unlock()
+		return
+	}
+	w.wire = appendBatchPayload(w.wire[:0], dst, batch)
+	if err := n.routeLink(ex.shardRank[dst]).writeFrame(ftBatch, w.wire); err != nil {
+		panic(netFailure{fmt.Errorf("shard: batch send to shard %d: %w", dst, err)})
+	}
+	n.sentWire.Add(1)
+	wireBytes := uint64(frameHdrLen + len(w.wire))
+	w.stats.WireBatchesSent++
+	w.stats.WireBytesSent += wireBytes
+	metWireBatchesSent.Inc()
+	metWireBatchBytes.Add(wireBytes)
+	w.putBuf(batch)
+}
+
+func (t *tcpTransport) allreduce(op redOp, vals []uint64) {
+	n := t.node
+	check := t.nextCheck()
+	metNetCollectives.Inc()
+	if n.rank == 0 {
+		n.coordReduce(uint8(op), check, vals)
+	} else {
+		n.workerReduce(uint8(op), check, vals)
+	}
+}
+
+// quiesced implements the distributed Drain verdict; see the package
+// comment above for why the sample order (recv before pending) closes
+// the late-arrival race.
+func (t *tcpTransport) quiesced() bool {
+	n := t.node
+	recv := n.recvWire.Load()
+	pend := uint64(localPending(t.ex))
+	vals := [3]uint64{n.sentWire.Load(), recv, pend}
+	t.allreduce(redSum, vals[:])
+	return vals[0] == vals[1] && vals[2] == 0
+}
+
+// barrier ends a Parallel phase machine-wide and refreshes every
+// non-owned state replica from its owner: each rank contributes its
+// owned regions (shard-id order), the coordinator stitches the full
+// state image and broadcasts it back.
+func (t *tcpTransport) barrier() {
+	ex, n := t.ex, t.node
+	check := t.nextCheck()
+	metNetCollectives.Inc()
+	regionBytes := 8 * ex.words * ex.Part.MaxLocal()
+	var full []byte
+	if n.rank == 0 {
+		full = make([]byte, regionBytes*ex.cfg.Shards)
+		for id, s := range ex.shards {
+			if ex.shardRank[id] == 0 {
+				encodeState(full[id*regionBytes:(id+1)*regionBytes], s.state)
+			}
+		}
+		for r := 1; r < n.nranks; r++ {
+			kind, c, _, body, err := decodeCollPayload(awaitColl(n.links[r]))
+			if err != nil {
+				panic(netFailure{err})
+			}
+			verifyColl(kind, collState, c, check)
+			off := 0
+			for id := range ex.shards {
+				if ex.shardRank[id] != r {
+					continue
+				}
+				if off+regionBytes > len(body) {
+					panic(netFailure{fmt.Errorf("shard: rank %d state blob short at shard %d", r, id)})
+				}
+				copy(full[id*regionBytes:(id+1)*regionBytes], body[off:off+regionBytes])
+				off += regionBytes
+			}
+			if off != len(body) {
+				panic(netFailure{fmt.Errorf("shard: rank %d state blob has %d stray bytes", r, len(body)-off)})
+			}
+		}
+		res := appendStateCollPayload(nil, check, full)
+		for r := 1; r < n.nranks; r++ {
+			if err := n.links[r].writeFrame(ftCollRes, res); err != nil {
+				panic(netFailure{err})
+			}
+		}
+	} else {
+		body := make([]byte, 0, regionBytes*ex.cfg.Shards/n.nranks+regionBytes)
+		for id, s := range ex.shards {
+			if ex.shardRank[id] == n.rank {
+				body = appendEncodedState(body, s.state)
+			}
+		}
+		if err := n.links[0].writeFrame(ftColl, appendStateCollPayload(nil, check, body)); err != nil {
+			panic(netFailure{err})
+		}
+		kind, c, _, res, err := decodeCollPayload(awaitColl(n.links[0]))
+		if err != nil {
+			panic(netFailure{err})
+		}
+		verifyColl(kind, collState, c, check)
+		if len(res) != regionBytes*ex.cfg.Shards {
+			panic(netFailure{fmt.Errorf("shard: state image is %d bytes, want %d", len(res), regionBytes*ex.cfg.Shards)})
+		}
+		full = res
+	}
+	for id, s := range ex.shards {
+		if ex.shardRank[id] != n.rank {
+			decodeState(s.state, full[id*regionBytes:(id+1)*regionBytes])
+		}
+	}
+	metNetStateBytes.Add(uint64(len(full)))
+}
+
+// encodeState serializes state words little-endian into dst (atomic
+// loads: worker goroutines of past phases wrote them atomically).
+func encodeState(dst []byte, state []uint64) {
+	for i := range state {
+		v := atomic.LoadUint64(&state[i])
+		putU64(dst[i*8:], v)
+	}
+}
+
+func appendEncodedState(buf []byte, state []uint64) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, 8*len(state))...)
+	encodeState(buf[off:], state)
+	return buf
+}
+
+// decodeState installs a replica region (atomic stores: the next phase's
+// workers read these words atomically).
+func decodeState(state []uint64, src []byte) {
+	for i := range state {
+		atomic.StoreUint64(&state[i], getU64(src[i*8:]))
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// verifyColl asserts a collective frame's kind and check word.
+func verifyColl(kind, wantKind uint8, check, want uint64) {
+	if kind != wantKind {
+		panic(netFailure{fmt.Errorf("shard: collective kind %d, want %d (ranks desynchronized)", kind, wantKind)})
+	}
+	if check != want {
+		panic(netFailure{fmt.Errorf("shard: collective check %#x, want %#x (op registries or configs diverged)", check, want)})
+	}
+}
+
+// node is one process's membership in a cluster: its rank, its links,
+// and the per-job routing/quiescence state. It outlives jobs; a fresh
+// tcpTransport binds it to each executor.
+type node struct {
+	rank   int
+	nranks int
+	// links, indexed by rank. On the coordinator every worker rank has a
+	// link (links[0] is nil); on a worker only links[0] (the coordinator)
+	// is set — the star topology.
+	links []*link
+
+	mu     sync.Mutex
+	ex     *Executor // current job's executor (nil between jobs)
+	owners []int     // current job's shard→rank map (nil between jobs)
+	early  [][]byte  // batches that arrived before attachExec
+
+	sentWire atomic.Uint64 // wire batches sent at this origin (this job)
+	recvWire atomic.Uint64 // wire batches enqueued at this destination
+}
+
+// routeLink returns the link that reaches rank r under the star
+// topology.
+func (n *node) routeLink(r int) *link {
+	if n.rank == 0 {
+		return n.links[r]
+	}
+	return n.links[0]
+}
+
+// startJob arms routing and quiescence accounting for one job. On the
+// coordinator it must run before the job broadcast: relayable frames can
+// arrive the moment a worker has the job. Early-held frames are kept —
+// on a worker they belong to this very job (quiescence guarantees the
+// previous job left nothing in flight, and detachExec cleared the rest).
+func (n *node) startJob(owners []int) {
+	n.mu.Lock()
+	n.owners = owners
+	n.mu.Unlock()
+	n.sentWire.Store(0)
+	n.recvWire.Store(0)
+}
+
+// attachExec binds the current job's executor and flushes any batches
+// that beat it through the handshake (a fast peer can start spawning
+// while this rank is still decoding the graph).
+func (n *node) attachExec(ex *Executor) {
+	n.mu.Lock()
+	n.ex = ex
+	early := n.early
+	n.early = nil
+	n.mu.Unlock()
+	for _, p := range early {
+		if err := n.deliverLocal(ex, p); err != nil {
+			panic(netFailure{err})
+		}
+	}
+}
+
+// detachExec ends the job; by quiescence no batch frame is in flight.
+func (n *node) detachExec() {
+	n.mu.Lock()
+	n.ex = nil
+	n.owners = nil
+	n.early = nil
+	n.mu.Unlock()
+}
+
+// routeBatch handles one ftBatch frame off the wire: relay if the owner
+// is another rank (coordinator only), enqueue locally otherwise.
+func (n *node) routeBatch(payload []byte) error {
+	dst, err := batchDst(payload)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	owners := n.owners
+	ex := n.ex
+	if owners == nil {
+		if n.rank != 0 {
+			// The job frame precedes its batches on the coordinator link
+			// (FIFO), but the session layer may still be decoding the job
+			// when a fast peer's first flushes arrive: hold the frames,
+			// attachExec drains them. The coordinator never takes this
+			// path — its startJob runs before the job broadcast.
+			n.early = append(n.early, payload)
+			n.mu.Unlock()
+			return nil
+		}
+		n.mu.Unlock()
+		return fmt.Errorf("shard: batch for shard %d with no job active", dst)
+	}
+	if dst >= len(owners) {
+		n.mu.Unlock()
+		return fmt.Errorf("shard: batch for shard %d of %d", dst, len(owners))
+	}
+	owner := owners[dst]
+	if owner == n.rank && ex == nil {
+		// Owned but the executor isn't up yet: hold the frame.
+		n.early = append(n.early, payload)
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+	if owner != n.rank {
+		if n.rank != 0 {
+			return fmt.Errorf("shard: worker rank %d asked to relay shard %d to rank %d", n.rank, dst, owner)
+		}
+		return n.links[owner].writeFrame(ftBatch, payload)
+	}
+	return n.deliverLocal(ex, payload)
+}
+
+// deliverLocal decodes a batch frame into the owner shard's inbox. The
+// enqueue happens before the recvWire increment — quiesced() relies on
+// that order (see the package comment).
+func (n *node) deliverLocal(ex *Executor, payload []byte) error {
+	dst, msgs, err := decodeBatchPayload(payload, ex.pool.get())
+	if err != nil {
+		return err
+	}
+	if ex.shardRank[dst] != n.rank {
+		return fmt.Errorf("shard: batch for shard %d delivered to rank %d", dst, n.rank)
+	}
+	s := ex.shards[dst]
+	s.inbox.mu.Lock()
+	s.inbox.batches = append(s.inbox.batches, msgs)
+	s.inbox.mu.Unlock()
+	n.recvWire.Add(1)
+	metWireBatchesRecv.Inc()
+	return nil
+}
+
+// coordReduce runs one collective as rank 0: collect every worker's
+// contribution, combine element-wise into vals, broadcast the result.
+func (n *node) coordReduce(kind uint8, check uint64, vals []uint64) {
+	for r := 1; r < n.nranks; r++ {
+		k, c, v, _, err := decodeCollPayload(awaitColl(n.links[r]))
+		if err != nil {
+			panic(netFailure{err})
+		}
+		verifyColl(k, kind, c, check)
+		if len(v) != len(vals) {
+			panic(netFailure{fmt.Errorf("shard: rank %d reduced %d values, want %d", r, len(v), len(vals))})
+		}
+		combine(redOp(kind), vals, v)
+	}
+	res := appendCollPayload(nil, kind, check, vals)
+	for r := 1; r < n.nranks; r++ {
+		if err := n.links[r].writeFrame(ftCollRes, res); err != nil {
+			panic(netFailure{err})
+		}
+	}
+}
+
+// workerReduce runs one collective as a worker rank: contribute, then
+// take the coordinator's verdict.
+func (n *node) workerReduce(kind uint8, check uint64, vals []uint64) {
+	l := n.links[0]
+	if err := l.writeFrame(ftColl, appendCollPayload(nil, kind, check, vals)); err != nil {
+		panic(netFailure{err})
+	}
+	k, c, v, _, err := decodeCollPayload(awaitColl(l))
+	if err != nil {
+		panic(netFailure{err})
+	}
+	verifyColl(k, kind, c, check)
+	if len(v) != len(vals) {
+		panic(netFailure{fmt.Errorf("shard: collective result has %d values, want %d", len(v), len(vals))})
+	}
+	copy(vals, v)
+}
+
+// combine folds contribution v into acc element-wise.
+func combine(op redOp, acc, v []uint64) {
+	switch op {
+	case redSum:
+		for i := range acc {
+			acc[i] += v[i]
+		}
+	case redMin:
+		for i := range acc {
+			if v[i] < acc[i] {
+				acc[i] = v[i]
+			}
+		}
+	case redOr:
+		for i := range acc {
+			acc[i] |= v[i]
+		}
+	}
+}
+
+// awaitColl blocks for the next collective frame on l, converting link
+// failure or timeout into a netFailure.
+func awaitColl(l *link) []byte {
+	select {
+	case p := <-l.collCh:
+		return p
+	case err := <-l.errCh:
+		panic(netFailure{err})
+	case <-time.After(collTimeout):
+		panic(netFailure{fmt.Errorf("shard: collective timed out after %v", collTimeout)})
+	}
+}
+
+// link is one framed connection endpoint. The reader goroutine
+// (node.readLoop) demuxes inbound frames: batches route immediately,
+// collective frames and jobs queue on channels for the session layer.
+type link struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+
+	collCh chan []byte
+	jobCh  chan []byte
+	byeCh  chan struct{}
+	errCh  chan error
+}
+
+func newLink(conn net.Conn) *link {
+	return &link{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 64<<10),
+		collCh: make(chan []byte, 4),
+		jobCh:  make(chan []byte, 1),
+		byeCh:  make(chan struct{}),
+		errCh:  make(chan error, 1),
+	}
+}
+
+// writeFrame sends one frame; the write mutex keeps concurrently
+// flushing workers (and the relay) from interleaving frames.
+func (l *link) writeFrame(ft frameType, payload []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	var hdr [frameHdrLen]byte
+	putFrameHeader(hdr[:], ft, len(payload))
+	if _, err := l.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := l.conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	metNetFramesSent.Inc()
+	metNetBytesSent.Add(uint64(frameHdrLen + len(payload)))
+	return nil
+}
+
+// fail records the link's terminal error (first one wins) and tears the
+// connection down, unblocking any reader.
+func (l *link) fail(err error) {
+	select {
+	case l.errCh <- err:
+	default:
+	}
+	l.conn.Close()
+}
+
+// readLoop demuxes inbound frames until the connection dies or says bye.
+func (n *node) readLoop(l *link) {
+	for {
+		ft, payload, err := readFrame(l.br)
+		if err != nil {
+			l.fail(fmt.Errorf("shard: wire read: %w", err))
+			return
+		}
+		metNetFramesRecv.Inc()
+		metNetBytesRecv.Add(uint64(frameHdrLen + len(payload)))
+		switch ft {
+		case ftBatch:
+			if err := n.routeBatch(payload); err != nil {
+				l.fail(err)
+				return
+			}
+		case ftColl, ftCollRes:
+			l.collCh <- payload
+		case ftJob:
+			l.jobCh <- payload
+		case ftBye:
+			close(l.byeCh)
+			return
+		case ftError:
+			l.fail(fmt.Errorf("shard: peer failed: %s", payload))
+			return
+		default:
+			l.fail(fmt.Errorf("shard: unexpected %d frame", ft))
+			return
+		}
+	}
+}
