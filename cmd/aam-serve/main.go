@@ -10,10 +10,13 @@
 //	          [-machine has-c] [-threads 4] [-workers 8] [-pprof]
 //	          [-cache on|off] [-cache-bytes 33554432]
 //	          [-log-level info] [-slowlog 32]
+//	          [-data-dir dir] [-durability fsync|batch|off]
+//	          [-checkpoint-every 4096]
 //
 // Examples:
 //
 //	aam-serve -gen kron -scale 10                # serve a Kronecker graph
+//	aam-serve -gen kron -scale 10 -data-dir /var/lib/aam  # durable writes
 //	curl -X POST localhost:8080/edges -d '{"edges":[[0,1],[1,2]]}'
 //	curl 'localhost:8080/query/bfs?src=0'
 //	curl 'localhost:8080/query/bfs?src=0&shards=4'   # sharded executor
@@ -24,10 +27,16 @@
 //	curl 'localhost:8080/metrics'                    # Prometheus exposition
 //	curl 'localhost:8080/debug/slowlog'              # top-K slowest queries
 //
+// With -data-dir, every mutation batch is written to a write-ahead log in
+// that directory before it is acknowledged (-durability picks the fsync
+// policy), periodic checkpoints bound the log, and a restart recovers the
+// graph — snapshot plus WAL tail — before the listener accepts traffic.
+//
 // Logs are structured (log/slog, text format on stderr); -log-level debug
 // adds a per-request line with endpoint, status, latency and epoch fields.
-// SIGINT/SIGTERM drain in-flight requests, log a final stats snapshot and
-// stop the daemon gracefully.
+// SIGINT/SIGTERM drain in-flight requests (the worker pool is emptied and
+// the WAL synced before anything is torn down), take a final checkpoint,
+// log a final stats snapshot and stop the daemon gracefully.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"aamgo/internal/dyn"
 	"aamgo/internal/graph"
 	"aamgo/internal/serve"
+	"aamgo/internal/wal"
 )
 
 func main() {
@@ -66,6 +76,9 @@ func main() {
 		cacheBy  = flag.Int64("cache-bytes", 32<<20, "query cache size bound in bytes")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error (debug logs every request)")
 		slowlogK = flag.Int("slowlog", 32, "slow-query log capacity (top-K slowest, served at /debug/slowlog)")
+		dataDir  = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory only")
+		durab    = flag.String("durability", "batch", "WAL durability with -data-dir: fsync, batch or off")
+		ckptEvry = flag.Uint64("checkpoint-every", 4096, "checkpoint once this many epochs accumulate past the last one (0 disables automatic checkpoints)")
 	)
 	flag.Parse()
 
@@ -94,9 +107,42 @@ func main() {
 		fatal("unknown -cache value (want on or off)", "cache", *cache)
 	}
 
-	g, err := load(*in, *gen, *scale, *ef, *seed)
-	if err != nil {
-		fatal("loading graph", "err", err)
+	// With -data-dir the graph comes out of recovery (snapshot + WAL tail
+	// replay); the loader only runs when the directory holds no snapshot,
+	// i.e. on the very first boot. Recovery happens before the listener
+	// opens: no request ever sees a partially recovered graph.
+	var g *dyn.Graph
+	var walLog *wal.Log
+	if *dataDir != "" {
+		mode, err := wal.ParseMode(*durab)
+		if err != nil {
+			fatal("bad -durability", "err", err)
+		}
+		g, walLog, err = wal.Open(wal.Options{
+			Dir:             *dataDir,
+			Mode:            mode,
+			CheckpointEvery: *ckptEvry,
+		}, func() (*dyn.Graph, error) {
+			return load(*in, *gen, *scale, *ef, *seed)
+		})
+		if err != nil {
+			fatal("recovering durable state", "dir", *dataDir, "err", err)
+		}
+		rs := walLog.Recovery()
+		logger.Info("recovered",
+			"dir", *dataDir,
+			"durability", mode.String(),
+			"epoch", rs.RecoveredEpoch,
+			"snapshot_epoch", rs.SnapshotEpoch,
+			"replayed_batches", rs.ReplayedBatches,
+			"truncated_records", rs.TruncatedRecords,
+			"duration", time.Duration(rs.DurationNS).Round(time.Millisecond).String(),
+		)
+	} else {
+		var err error
+		if g, err = load(*in, *gen, *scale, *ef, *seed); err != nil {
+			fatal("loading graph", "err", err)
+		}
 	}
 	mechanism, ok := serve.MechByName(*mech)
 	if !ok {
@@ -114,6 +160,7 @@ func main() {
 		EnablePprof:   *pprofOn,
 		SlowlogK:      *slowlogK,
 		Logger:        logger,
+		WAL:           walLog,
 	})
 	if err != nil {
 		fatal("starting server", "err", err)
@@ -147,6 +194,20 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("server error", "err", err)
+	}
+	// Quiesce the worker pool before anything is torn down or logged: every
+	// in-flight mutation either finished (durably, when a WAL is attached)
+	// or was rejected whole, so the final stats describe a settled graph.
+	if err := srv.Drain(); err != nil {
+		logger.Warn("drain", "err", err)
+	}
+	if walLog != nil {
+		if err := walLog.Checkpoint(); err != nil {
+			logger.Warn("final checkpoint", "err", err)
+		}
+		if err := walLog.Close(); err != nil {
+			logger.Warn("wal close", "err", err)
+		}
 	}
 	srv.LogFinalStats()
 	logger.Info("stopped")

@@ -65,21 +65,12 @@ func main() {
 	}
 
 	if *join != "" {
-		// Worker: the coordinator may still be binding its listener when we
-		// start, so retry dial-phase failures for a grace window.
-		deadline := time.Now().Add(60 * time.Second)
-		for {
-			err := shard.JoinCluster(*join)
-			if err == nil {
-				return
-			}
-			var op *net.OpError
-			if errors.As(err, &op) && op.Op == "dial" && time.Now().Before(deadline) {
-				time.Sleep(250 * time.Millisecond)
-				continue
-			}
+		// Worker: JoinCluster retries the dial with bounded jittered
+		// backoff, so a coordinator still binding its listener is fine.
+		if err := shard.JoinCluster(*join); err != nil {
 			fail(err)
 		}
+		return
 	}
 
 	mechanism, err := parseMech(*mech)

@@ -28,6 +28,7 @@ func TestRegistryCoversEvaluation(t *testing.T) {
 		"serving",
 		"gblas",
 		"net",
+		"durability",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"aamgo/internal/dyn"
+	"aamgo/internal/graph"
+	"aamgo/internal/wal"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "durability",
+		Title: "Durable write path: WAL group commit vs fsync vs off, and crash recovery",
+		Paper: "Beyond the paper's in-memory batches: the durable write path. Group " +
+			"commit must buy back most of fsync's cost (one sync retires many " +
+			"concurrent batches), recovery must replay the exact acknowledged " +
+			"history — batch counts and the component structure gate exactly — and " +
+			"a torn tail must truncate cleanly (one injected partial record, zero " +
+			"lost acknowledged batches). Mutation throughput per durability mode " +
+			"and recovery wall time gate as floors/ceilings.",
+		Run: runDurability,
+	})
+}
+
+// Deterministic adds-only write storm: the final graph is the base plus
+// the union of the added edges, invariant under the concurrent apply
+// interleaving — which makes the recovered component count an exact gate.
+const (
+	durBatchCount = 96
+	durPerBatch   = 16
+	durWriters    = 4
+)
+
+func durNewBase(o Options) func() (*dyn.Graph, error) {
+	n := 1 << o.shift(9, 8)
+	return func() (*dyn.Graph, error) {
+		return dyn.New(graph.Community(n, 16, 4, 0.05, o.Seed))
+	}
+}
+
+// durStream pre-generates the whole mutation stream so every mode (and
+// the recovery oracle) sees identical batches.
+func durStream(o Options, n int) [][]dyn.Mutation {
+	rng := rand.New(rand.NewSource(o.Seed * 7919))
+	batches := make([][]dyn.Mutation, durBatchCount)
+	for i := range batches {
+		b := make([]dyn.Mutation, durPerBatch)
+		for j := range b {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				v = (v + 1) % int32(n)
+			}
+			b[j] = dyn.AddEdge(u, v)
+		}
+		batches[i] = b
+	}
+	return batches
+}
+
+// durApply drives the stream through g with durWriters concurrent
+// appliers (group commit needs concurrency to have anything to group).
+func durApply(g *dyn.Graph, batches [][]dyn.Mutation) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, durWriters)
+	for w := 0; w < durWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(batches); i += durWriters {
+				if _, err := g.Apply(batches[i], dyn.TxConfig{Threads: 2}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func runDurability(o Options) *Report {
+	rep := &Report{}
+	batchDir, n := durThroughputPart(rep, o)
+	defer os.RemoveAll(batchDir)
+	durRecoveryPart(rep, o, batchDir, n)
+	durCheckpointPart(rep, o)
+	return rep
+}
+
+// durThroughputPart races the three durability modes over the same
+// stream, returning the batch-mode directory (kept for the recovery part)
+// and the graph size.
+func durThroughputPart(rep *Report, o Options) (string, int) {
+	t := rep.NewTable("mutation throughput by durability mode (96 batches × 16 edges, 4 writers)",
+		"mode", "batches/s", "fsyncs", "appends", "group")
+
+	var batchDir string
+	var n int
+	var batchGroup float64
+	for _, mode := range []wal.Mode{wal.ModeFsync, wal.ModeBatch, wal.ModeOff} {
+		dir, err := os.MkdirTemp("", "aam-bench-durability-*")
+		if err != nil {
+			panic(err)
+		}
+		g, l, err := wal.Open(wal.Options{Dir: dir, Mode: mode}, durNewBase(o))
+		if err != nil {
+			panic(err)
+		}
+		if n == 0 {
+			n = g.N()
+		}
+		batches := durStream(o, n)
+		t0 := time.Now()
+		if err := durApply(g, batches); err != nil {
+			panic(err)
+		}
+		if err := l.Sync(); err != nil { // off mode acks without syncing; settle before timing stops
+			panic(err)
+		}
+		wall := time.Since(t0)
+		st := l.Stats()
+		if err := l.Close(); err != nil {
+			panic(err)
+		}
+
+		bps := float64(durBatchCount) / wall.Seconds()
+		group := float64(st.Appends)
+		if st.Fsyncs > 0 {
+			group = float64(st.Appends) / float64(st.Fsyncs)
+		}
+		t.AddRow(mode.String(), fmt.Sprintf("%.0f", bps), itoa(int(st.Fsyncs)),
+			itoa(int(st.Appends)), fmt.Sprintf("%.1f", group))
+		rep.Metricf("durability.tput."+mode.String()+".bps", bps)
+		if mode == wal.ModeBatch {
+			batchDir = dir
+			batchGroup = group
+			rep.Metricf("durability.tput.batch.group", group)
+		} else {
+			os.RemoveAll(dir)
+		}
+	}
+	rep.Checkf(batchGroup > 1, "group commit groups",
+		"batch mode retired %.1f batches per fsync (must exceed 1)", batchGroup)
+	return batchDir, n
+}
+
+// durRecoveryPart reopens the batch-mode directory twice: intact, then
+// with a torn record injected at the tail. Replay counts, the truncation
+// count and the recovered component structure gate exactly; only the
+// recovery wall time is machine-dependent (ceiling).
+func durRecoveryPart(rep *Report, o Options, dir string, n int) {
+	t0 := time.Now()
+	g, l, err := wal.Open(wal.Options{Dir: dir}, durNewBase(o))
+	if err != nil {
+		panic(err)
+	}
+	recoverMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+	rs := l.Recovery()
+	cc := g.ComponentCount()
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+
+	rep.Metricf("durability.recovered.batches", float64(rs.ReplayedBatches))
+	rep.Metricf("durability.recovered.cc", float64(cc))
+	rep.Metricf("durability.lat.recover.ms", recoverMS)
+	rep.Checkf(rs.RecoveredEpoch == durBatchCount,
+		"recovery replays every acknowledged batch",
+		"recovered epoch %d, acknowledged %d", rs.RecoveredEpoch, durBatchCount)
+
+	// Torn tail: a partial record appended to the newest segment models
+	// the prefix a power cut leaves behind. Recovery must truncate exactly
+	// it and land on the same state.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		panic(fmt.Sprintf("no WAL segments in %s: %v", dir, err))
+	}
+	newest := segs[len(segs)-1]
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00}); err != nil {
+		panic(err)
+	}
+	f.Close()
+
+	g2, l2, err := wal.Open(wal.Options{Dir: dir}, durNewBase(o))
+	if err != nil {
+		panic(err)
+	}
+	rs2 := l2.Recovery()
+	cc2 := g2.ComponentCount()
+	if err := l2.Close(); err != nil {
+		panic(err)
+	}
+	rep.Metricf("durability.truncated.records", float64(rs2.TruncatedRecords))
+	rep.Checkf(rs2.TruncatedRecords == 1 && rs2.RecoveredEpoch == durBatchCount && cc2 == cc,
+		"torn tail truncates cleanly",
+		"truncated %d record(s), recovered epoch %d (want %d), cc %d (want %d)",
+		rs2.TruncatedRecords, rs2.RecoveredEpoch, durBatchCount, cc2, cc)
+
+	rep.Notef("recovery workload: community graph of %d vertices, %d batches × %d adds, seed %d",
+		n, durBatchCount, durPerBatch, o.Seed)
+}
+
+// durCheckpointPart takes an explicit mid-stream checkpoint and verifies
+// recovery resumes from the snapshot, replaying only the tail.
+func durCheckpointPart(rep *Report, o Options) {
+	const head = 64 // batches before the checkpoint; the rest replay from the log
+	dir, err := os.MkdirTemp("", "aam-bench-durability-ckpt-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g, l, err := wal.Open(wal.Options{Dir: dir}, durNewBase(o))
+	if err != nil {
+		panic(err)
+	}
+	batches := durStream(o, g.N())
+	for i := 0; i < head; i++ {
+		if _, err := g.Apply(batches[i], dyn.TxConfig{Threads: 2}); err != nil {
+			panic(err)
+		}
+	}
+	if err := l.Checkpoint(); err != nil {
+		panic(err)
+	}
+	for i := head; i < len(batches); i++ {
+		if _, err := g.Apply(batches[i], dyn.TxConfig{Threads: 2}); err != nil {
+			panic(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+
+	g2, l2, err := wal.Open(wal.Options{Dir: dir}, durNewBase(o))
+	if err != nil {
+		panic(err)
+	}
+	rs := l2.Recovery()
+	if err := l2.Close(); err != nil {
+		panic(err)
+	}
+	_ = g2
+	rep.Metricf("durability.snapshot.epoch", float64(rs.SnapshotEpoch))
+	rep.Metricf("durability.replayed.after.ckpt", float64(rs.ReplayedBatches))
+	rep.Checkf(rs.SnapshotEpoch == head && rs.ReplayedBatches == durBatchCount-head,
+		"checkpoint bounds replay",
+		"snapshot epoch %d (want %d), replayed %d (want %d)",
+		rs.SnapshotEpoch, head, rs.ReplayedBatches, durBatchCount-head)
+}

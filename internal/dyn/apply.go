@@ -65,10 +65,14 @@ func (c TxConfig) resolve() (exec.MachineProfile, TxConfig, error) {
 		c.Seed = 1
 	}
 	if c.CompactFraction == 0 {
-		c.CompactFraction = 0.5
+		c.CompactFraction = defaultCompactFraction
 	}
 	return prof, c, nil
 }
+
+// defaultCompactFraction is the compaction trigger used when TxConfig
+// leaves CompactFraction zero, and by Replay (which has no TxConfig).
+const defaultCompactFraction = 0.5
 
 // applier carries the shared state of one transactional batch: the
 // pre-batch snapshot every operator validates against, and per-thread
@@ -109,30 +113,30 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 	defer func() { g.histApply.RecordSince(int64(time.Since(start))) }()
 
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	res, wait, err := g.applyLocked(batch, prof, cfg)
+	g.mu.Unlock()
+	if err != nil || wait == nil {
+		return res, err
+	}
+	// Durability wait runs outside the writer lock: the next batch can
+	// append to the log tail while this one blocks on the group fsync, so
+	// one sync retires every batch that piled up behind it.
+	if werr := wait(); werr != nil {
+		return res, fmt.Errorf("%w: epoch %d: %v", ErrDurability, res.Epoch, werr)
+	}
+	return res, nil
+}
 
+// applyLocked is the body of Apply under g.mu: validation, transactional
+// phase, fold, publish, and the durability-hook append. It returns the
+// hook's wait closure for Apply to run after unlocking.
+func (g *Graph) applyLocked(batch []Mutation, prof exec.MachineProfile, cfg TxConfig) (BatchResult, func() error, error) {
 	pre := g.cur.Load()
 
-	// Sequence vertex additions and validate edge endpoints against the
-	// post-addition vertex count.
 	var res BatchResult
-	newN := pre.n
-	edgeMuts := make([]Mutation, 0, len(batch))
-	for i, m := range batch {
-		switch m.Kind {
-		case KindAddVertex:
-			newN++
-		case KindAddEdge, KindRemoveEdge:
-			if int(m.U) < 0 || int(m.U) >= newN || int(m.V) < 0 || int(m.V) >= newN {
-				return BatchResult{}, fmt.Errorf("dyn: batch[%d]: edge (%d,%d) out of range [0,%d)", i, m.U, m.V, newN)
-			}
-			if m.U == m.V {
-				return BatchResult{}, fmt.Errorf("dyn: batch[%d]: self-loop (%d,%d) not supported", i, m.U, m.V)
-			}
-			edgeMuts = append(edgeMuts, m)
-		default:
-			return BatchResult{}, fmt.Errorf("dyn: batch[%d]: unknown mutation kind %d", i, m.Kind)
-		}
+	edgeMuts, newN, err := splitBatch(batch, pre.n)
+	if err != nil {
+		return BatchResult{}, nil, err
 	}
 	res.VerticesAdded = newN - pre.n
 
@@ -149,63 +153,188 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 		res.Elapsed = time.Duration(machRes.Elapsed)
 		res.Stats = machRes.Stats
 
-		seenAdd := make(map[[2]int32]bool)
-		seenDel := make(map[[2]int32]bool)
-		cw := newCow()
+		f := newFolder(g, ns, &res)
 		for t := range a.buckets {
 			b := &a.buckets[t]
 			res.Rejected += b.rejected
 			for _, m := range b.committed {
-				key := [2]int32{min(m.U, m.V), max(m.U, m.V)}
-				switch m.Kind {
-				case KindAddEdge:
-					if seenAdd[key] {
-						res.Redundant++
-						continue
-					}
-					seenAdd[key] = true
-					ns.insertArc(m.U, m.V, cw)
-					ns.insertArc(m.V, m.U, cw)
-					res.Applied++
-				case KindRemoveEdge:
-					if seenDel[key] {
-						res.Redundant++
-						continue
-					}
-					seenDel[key] = true
-					ns.deleteArc(m.U, m.V, cw)
-					ns.deleteArc(m.V, m.U, cw)
-					res.Applied++
-					g.ccDirty = true
-				}
+				f.fold(m)
 			}
 		}
-		for v := range cw.adds {
-			touched = append(touched, v)
-		}
-		for v := range cw.dels {
-			if !cw.adds[v] {
-				touched = append(touched, v)
-			}
-		}
-		// Incremental CC: union committed inserts (cheap even when a
-		// delete already marked the forest dirty).
-		if !g.ccDirty {
-			g.uf.grow(newN)
-			for key := range seenAdd {
-				g.uf.union(int(key[0]), int(key[1]))
-			}
-		}
+		touched = f.finish()
 	} else if newN > pre.n && !g.ccDirty {
 		g.uf.grow(newN)
 	}
 	res.Applied += res.VerticesAdded
 
+	g.publishLocked(ns, &res, touched, cfg.CompactFraction)
+
+	g.cum.Tx.Add(&res.Stats.Thread)
+	if m := int(cfg.Mechanism); m >= 0 && m < numMechs {
+		pm := &g.cum.PerMech[m]
+		pm.Batches++
+		pm.Aborts += res.Stats.TotalAborts()
+		pm.Retries += res.Stats.Retries
+		pm.Serialized += res.Stats.TxSerialized
+	}
+
+	var wait func() error
+	if g.walHook != nil {
+		// Epoch/N/Arcs are invariant under the compaction publishLocked
+		// may have applied (compaction rewrites representation, not
+		// state), so the pre-compaction ns is the published truth.
+		wait = g.walHook(CommitInfo{Epoch: res.Epoch, N: newN, Arcs: ns.arcs, Batch: batch})
+	}
+	return res, wait, nil
+}
+
+// Replay applies a batch recovered from a write-ahead log record without
+// the transactional machine: a batch's committed/rejected/redundant
+// outcome is a pure function of the pre-batch snapshot (each edge mutation
+// commits iff its membership check against that snapshot passes, and
+// intra-batch duplicates collapse by edge key), so recovery re-derives it
+// directly and skips the abort/retry simulation. The durability hook is
+// deliberately bypassed — replayed batches came from the log. Compaction
+// runs with the default fraction; it rewrites representation, not logical
+// state or epoch, so a compaction schedule differing from the original run
+// is invisible after the per-vertex adjacency is sorted.
+func (g *Graph) Replay(batch []Mutation) (BatchResult, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	pre := g.cur.Load()
+	var res BatchResult
+	edgeMuts, newN, err := splitBatch(batch, pre.n)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res.VerticesAdded = newN - pre.n
+
+	ns := pre.clone(newN)
+	var touched []int32
+	if len(edgeMuts) > 0 {
+		f := newFolder(g, ns, &res)
+		for _, m := range edgeMuts {
+			wantExists := m.Kind == KindRemoveEdge
+			if pre.HasEdge(m.U, m.V) != wantExists {
+				res.Rejected++
+				continue
+			}
+			f.fold(m)
+		}
+		touched = f.finish()
+	} else if newN > pre.n && !g.ccDirty {
+		g.uf.grow(newN)
+	}
+	res.Applied += res.VerticesAdded
+
+	g.publishLocked(ns, &res, touched, defaultCompactFraction)
+	return res, nil
+}
+
+// splitBatch sequences vertex additions and validates edge endpoints
+// against the post-addition vertex count, returning the edge mutations and
+// the new vertex count.
+func splitBatch(batch []Mutation, n int) (edgeMuts []Mutation, newN int, err error) {
+	newN = n
+	edgeMuts = make([]Mutation, 0, len(batch))
+	for i, m := range batch {
+		switch m.Kind {
+		case KindAddVertex:
+			newN++
+		case KindAddEdge, KindRemoveEdge:
+			if int(m.U) < 0 || int(m.U) >= newN || int(m.V) < 0 || int(m.V) >= newN {
+				return nil, 0, fmt.Errorf("dyn: batch[%d]: edge (%d,%d) out of range [0,%d)", i, m.U, m.V, newN)
+			}
+			if m.U == m.V {
+				return nil, 0, fmt.Errorf("dyn: batch[%d]: self-loop (%d,%d) not supported", i, m.U, m.V)
+			}
+			edgeMuts = append(edgeMuts, m)
+		default:
+			return nil, 0, fmt.Errorf("dyn: batch[%d]: unknown mutation kind %d", i, m.Kind)
+		}
+	}
+	return edgeMuts, newN, nil
+}
+
+// folder folds the committed mutations of one batch into the next
+// snapshot: intra-batch duplicates collapse to one application, deletions
+// dirty the incremental CC forest, and finish derives the touched-vertex
+// journal plus the union-find updates. Shared by the transactional Apply
+// path and the machine-free Replay path so both fold identically.
+type folder struct {
+	g                *Graph
+	ns               *Snapshot
+	cw               *cow
+	seenAdd, seenDel map[[2]int32]bool
+	res              *BatchResult
+}
+
+func newFolder(g *Graph, ns *Snapshot, res *BatchResult) *folder {
+	return &folder{
+		g:       g,
+		ns:      ns,
+		cw:      newCow(),
+		seenAdd: make(map[[2]int32]bool),
+		seenDel: make(map[[2]int32]bool),
+		res:     res,
+	}
+}
+
+func (f *folder) fold(m Mutation) {
+	key := [2]int32{min(m.U, m.V), max(m.U, m.V)}
+	switch m.Kind {
+	case KindAddEdge:
+		if f.seenAdd[key] {
+			f.res.Redundant++
+			return
+		}
+		f.seenAdd[key] = true
+		f.ns.insertArc(m.U, m.V, f.cw)
+		f.ns.insertArc(m.V, m.U, f.cw)
+		f.res.Applied++
+	case KindRemoveEdge:
+		if f.seenDel[key] {
+			f.res.Redundant++
+			return
+		}
+		f.seenDel[key] = true
+		f.ns.deleteArc(m.U, m.V, f.cw)
+		f.ns.deleteArc(m.V, m.U, f.cw)
+		f.res.Applied++
+		f.g.ccDirty = true
+	}
+}
+
+func (f *folder) finish() (touched []int32) {
+	for v := range f.cw.adds {
+		touched = append(touched, v)
+	}
+	for v := range f.cw.dels {
+		if !f.cw.adds[v] {
+			touched = append(touched, v)
+		}
+	}
+	// Incremental CC: union committed inserts (cheap even when a delete
+	// already marked the forest dirty).
+	if !f.g.ccDirty {
+		f.g.uf.grow(f.ns.n)
+		for key := range f.seenAdd {
+			f.g.uf.union(int(key[0]), int(key[1]))
+		}
+	}
+	return touched
+}
+
+// publishLocked runs the shared tail of a batch under g.mu: the compaction
+// check, the incremental-freeze bookkeeping, snapshot publication and the
+// lifetime counters.
+func (g *Graph) publishLocked(ns *Snapshot, res *BatchResult, touched []int32, compactFraction float64) {
 	// Compaction: fold the deltas back into a fresh base CSR when they
 	// outgrow the configured fraction of it.
-	if cfg.CompactFraction >= 0 {
+	if compactFraction >= 0 {
 		baseArcs := int64(len(ns.base.Adj))
-		if ns.DeltaArcs() > int64(float64(baseArcs)*cfg.CompactFraction) && ns.DeltaArcs() > 0 {
+		if ns.DeltaArcs() > int64(float64(baseArcs)*compactFraction) && ns.DeltaArcs() > 0 {
 			ns = compact(ns)
 			res.Compacted = true
 			g.cum.Compactions++
@@ -228,16 +357,7 @@ func (g *Graph) Apply(batch []Mutation, cfg TxConfig) (BatchResult, error) {
 	g.cum.Rejected += uint64(res.Rejected)
 	g.cum.Redundant += uint64(res.Redundant)
 	g.cum.Epoch = ns.epoch
-	g.cum.Tx.Add(&res.Stats.Thread)
-	if m := int(cfg.Mechanism); m >= 0 && m < numMechs {
-		pm := &g.cum.PerMech[m]
-		pm.Batches++
-		pm.Aborts += res.Stats.TotalAborts()
-		pm.Retries += res.Stats.Retries
-		pm.Serialized += res.Stats.TxSerialized
-	}
 	res.Epoch = ns.epoch
-	return res, nil
 }
 
 // Compact immediately folds all deltas into a fresh base CSR and publishes

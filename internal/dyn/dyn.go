@@ -30,6 +30,7 @@
 package dyn
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -270,6 +271,13 @@ type Graph struct {
 	uf      *unionFind
 	ccDirty bool
 
+	// walHook, when set, is invoked under mu immediately after each batch
+	// publishes — appends therefore arrive in strict epoch order. The wait
+	// closure it returns runs after mu is released, so concurrent Apply
+	// callers block on durability together (group commit) without
+	// serializing the fsync behind the writer lock.
+	walHook WALHook
+
 	cum CumStats
 
 	// histApply records Apply wall time (validation + transactional phase
@@ -309,10 +317,50 @@ type CumStats struct {
 	PerMech [numMechs]MechStats
 }
 
+// CommitInfo describes one published batch to the durability hook: the
+// epoch the batch produced, the post-batch vertex and arc counts (recorded
+// alongside the mutations so recovery can verify each replayed step), and
+// the original batch. Batch aliases the caller's slice and is only valid
+// for the duration of the hook call — hooks must encode or copy it before
+// returning.
+type CommitInfo struct {
+	Epoch uint64
+	N     int
+	Arcs  int64
+	Batch []Mutation
+}
+
+// WALHook is the durability hook a write-ahead log installs via SetWALHook.
+// It is called under the writer lock after every successful Apply (epochs
+// arrive strictly ordered, one per batch, including batches that applied
+// nothing — epoch continuity is what recovery verifies). The returned wait
+// closure, if non-nil, is invoked by Apply after the lock is released and
+// blocks until the batch is durable; its error surfaces from Apply wrapped
+// in ErrDurability.
+type WALHook func(ci CommitInfo) (wait func() error)
+
+// ErrDurability marks Apply errors raised after the batch was published
+// in memory but the durability hook failed to make it stable. The
+// in-memory state includes the batch; a crash-recovered state will not.
+var ErrDurability = errors.New("dyn: durability wait failed")
+
+// SetWALHook installs (or, with nil, removes) the durability hook.
+func (g *Graph) SetWALHook(h WALHook) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.walHook = h
+}
+
 // New wraps a static base graph. The base must be undirected and is frozen
 // into the dynamic graph (callers must not mutate it afterwards); weights
 // are not carried over.
-func New(base *graph.Graph) (*Graph, error) {
+func New(base *graph.Graph) (*Graph, error) { return NewWithEpoch(base, 0) }
+
+// NewWithEpoch wraps a static base graph like New but starts the epoch
+// counter at epoch instead of zero. Recovery uses it to resume from a
+// checkpoint snapshot: the loaded CSR becomes the base and subsequent WAL
+// records continue the epoch sequence where the snapshot left off.
+func NewWithEpoch(base *graph.Graph, epoch uint64) (*Graph, error) {
 	if base == nil {
 		return nil, fmt.Errorf("dyn: nil base graph")
 	}
@@ -328,16 +376,18 @@ func New(base *graph.Graph) (*Graph, error) {
 	base = base.Flat()
 	g := &Graph{}
 	snap := &Snapshot{
-		n:    base.N,
-		base: sortedBase(&graph.Graph{N: base.N, Offsets: base.Offsets, Adj: base.Adj}),
-		adds: make([][]int32, base.N),
-		dels: make([][]int32, base.N),
-		arcs: base.NumEdges(),
+		epoch: epoch,
+		n:     base.N,
+		base:  sortedBase(&graph.Graph{N: base.N, Offsets: base.Offsets, Adj: base.Adj}),
+		adds:  make([][]int32, base.N),
+		dels:  make([][]int32, base.N),
+		arcs:  base.NumEdges(),
 	}
 	g.mat = newMatState(snap)
 	snap.mat = g.mat
 	g.histApply = obs.NewHistogram()
 	g.cur.Store(snap)
+	g.cum.Epoch = epoch
 	g.uf = newUnionFind(base.N)
 	for v := 0; v < base.N; v++ {
 		for _, w := range base.Neighbors(v) {

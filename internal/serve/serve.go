@@ -51,6 +51,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -72,6 +73,7 @@ import (
 	"aamgo/internal/run"
 	"aamgo/internal/shard"
 	"aamgo/internal/stats"
+	"aamgo/internal/wal"
 )
 
 // Config shapes the daemon.
@@ -108,6 +110,12 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs (per-request
 	// lines at Debug). Nil uses slog.Default().
 	Logger *slog.Logger
+	// WAL, when non-nil, is the write-ahead log already attached to the
+	// graph (wal.Open wires the hook). The server only observes it: its
+	// counters join /metrics and /stats, Drain syncs it, and a durability
+	// failure on a mutation answers 503 instead of 400 — the batch is
+	// applied in memory but the caller must not treat it as durable.
+	WAL *wal.Log
 }
 
 func (c Config) resolve() (Config, exec.MachineProfile, error) {
@@ -178,6 +186,8 @@ type Server struct {
 	mutations   atomic.Uint64
 	rejected    atomic.Uint64 // requests that failed validation (4xx)
 	notModified atomic.Uint64 // ETag If-None-Match hits answered 304
+
+	draining atomic.Bool // Drain called: pool admits no new work
 }
 
 // New builds a server over g.
@@ -206,6 +216,9 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 		"sssp", "mst", "coloring", "stats", "metrics", "slowlog",
 	})
 	g.RegisterMetrics(s.reg)
+	if cfg.WAL != nil {
+		cfg.WAL.RegisterMetrics(s.reg)
+	}
 	s.mux.HandleFunc("/edges", s.instrumented("edges", s.pooled(s.handleEdges)))
 	s.mux.HandleFunc("/vertices", s.instrumented("vertices", s.pooled(s.handleVertices)))
 	// GET endpoints whose body is a pure function of (epoch, params) run
@@ -248,9 +261,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // pooled gates h behind the bounded worker pool. A request whose client
 // goes away while queued is dropped without running. Requests that find
-// every slot busy are counted as pool saturation before they wait.
+// every slot busy are counted as pool saturation before they wait. Once
+// Drain has been called, nothing new is admitted: a mutation that never
+// enters the pool is cleanly rejected, never half-applied.
 func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
@@ -265,6 +284,35 @@ func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
 		defer func() { <-s.sem }()
 		h(w, r)
 	}
+}
+
+// Drain quiesces the write path for shutdown: new pool entrants are
+// rejected with 503, then every pool slot is acquired — so any request
+// already inside the pool has finished (for a mutation: Apply returned,
+// meaning its WAL record is durable under the configured mode) — and
+// finally the WAL tail is synced. After Drain returns, the graph holds no
+// half-applied batch: every acknowledged mutation is on disk, every
+// unacknowledged one was rejected whole. The pool stays closed for good;
+// Drain is called once, on the way down.
+func (s *Server) Drain() error {
+	s.draining.Store(true)
+	for i := 0; i < s.cfg.MaxConcurrent; i++ {
+		s.sem <- struct{}{}
+	}
+	if s.cfg.WAL != nil {
+		return s.cfg.WAL.Sync()
+	}
+	return nil
+}
+
+// mutateStatus maps an Apply error to its HTTP status: a durability
+// failure is the server's fault (503 — the batch applied in memory but
+// the log could not make it durable), everything else is a caller error.
+func mutateStatus(err error) int {
+	if errors.Is(err, dyn.ErrDurability) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 // etagMatch implements the If-None-Match comparison (weak comparison is
@@ -647,7 +695,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.g.Apply(batch, cfg)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, mutateStatus(err), "%v", err)
 		return
 	}
 	s.mutations.Add(1)
@@ -693,7 +741,7 @@ func (s *Server) handleVertices(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.g.Apply(batch, cfg)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, mutateStatus(err), "%v", err)
 		return
 	}
 	s.mutations.Add(1)
@@ -1324,6 +1372,10 @@ type statsResponse struct {
 	// Latency maps endpoint → percentile summary (endpoints with traffic
 	// only). Percentiles are conservative upper bounds (≤3% over).
 	Latency map[string]latencySummary `json:"latency"`
+	// WAL and Recovery appear only on durable servers (Config.WAL set):
+	// the live log counters and what the boot-time recovery pass did.
+	WAL      *wal.Stats         `json:"wal,omitempty"`
+	Recovery *wal.RecoveryStats `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1357,6 +1409,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		cs := s.cache.stats()
 		resp.Cache = &cs
+	}
+	if s.cfg.WAL != nil {
+		ws := s.cfg.WAL.Stats()
+		rs := s.cfg.WAL.Recovery()
+		resp.WAL = &ws
+		resp.Recovery = &rs
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

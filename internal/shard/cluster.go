@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"time"
 
@@ -33,6 +34,40 @@ import (
 // handshakeTimeout bounds Accept's wait for each worker and the
 // hello/welcome exchange.
 const handshakeTimeout = 60 * time.Second
+
+// Dial tuning for JoinCluster: workers routinely start before their
+// coordinator has bound its listener, so the dial retries with capped
+// exponential backoff. The defaults give a grace window of roughly a
+// minute (50 ms doubling to a 2 s cap over 30 attempts) — comparable to
+// handshakeTimeout — after which the last dial error surfaces.
+const (
+	joinDialTimeout  = 5 * time.Second
+	joinDialAttempts = 30
+	joinBackoffBase  = 50 * time.Millisecond
+	joinBackoffCap   = 2 * time.Second
+)
+
+// dialCoordinator dials addr with bounded, jittered exponential backoff.
+// Jitter (uniform over the upper half of each window) keeps a fleet of
+// workers restarted together from re-dialing in lockstep.
+func dialCoordinator(addr string, attempts int) (net.Conn, error) {
+	backoff := joinBackoffBase
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > joinBackoffCap {
+				backoff = joinBackoffCap
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, joinDialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("shard: dialing coordinator %s: %d attempts exhausted: %w", addr, attempts, lastErr)
+}
 
 // jobSpec is one algorithm invocation shipped to every worker.
 type jobSpec struct {
@@ -263,9 +298,11 @@ func (c *Cluster) Close() error {
 // JoinCluster dials a coordinator and serves jobs until it says bye
 // (returning nil) or the session fails (returning the failure). Each job
 // runs the same SPMD driver the coordinator runs, with this process's
-// rank of the shard space.
+// rank of the shard space. The dial itself retries with bounded backoff
+// (see dialCoordinator), so a coordinator that is still binding its
+// listener is tolerated; handshake and session failures do not retry.
 func JoinCluster(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialCoordinator(addr, joinDialAttempts)
 	if err != nil {
 		return err
 	}

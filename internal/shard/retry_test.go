@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"aamgo/internal/graph"
+)
+
+// reserveAddr grabs a loopback port and frees it, so dials against the
+// address fail with connection-refused until someone re-listens.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestJoinRetriesDelayedCoordinator is the delayed-listen regression: the
+// worker dials before the coordinator exists, its first attempts are
+// refused, and the bounded backoff carries it into the window where the
+// coordinator finally binds. The session must then run a real job and end
+// with a clean bye.
+func TestJoinRetriesDelayedCoordinator(t *testing.T) {
+	addr := reserveAddr(t)
+
+	joinErr := make(chan error, 1)
+	go func() { joinErr <- JoinCluster(addr) }()
+
+	// Long enough for several refused dials (base 50 ms doubling), short
+	// enough to stay far inside the retry budget.
+	time.Sleep(400 * time.Millisecond)
+
+	c, err := NewCluster(addr, 1)
+	if err != nil {
+		t.Fatalf("delayed listen on %s: %v", addr, err)
+	}
+	if err := c.Accept(); err != nil {
+		c.Close()
+		t.Fatalf("accept: %v", err)
+	}
+	g := graph.Kronecker(6, 4, 1)
+	res, err := c.BFS(g, 0, Config{Shards: 4})
+	if err != nil {
+		c.Close()
+		t.Fatalf("bfs across the late-joined cluster: %v", err)
+	}
+	if res.Levels <= 0 {
+		t.Errorf("bfs produced %d levels", res.Levels)
+	}
+	c.Close()
+	if err := <-joinErr; err != nil {
+		t.Fatalf("worker exited with: %v", err)
+	}
+}
+
+// TestJoinDialBounded holds the retry loop to its cap: with no listener
+// ever appearing, a small attempt budget must fail fast — not spin to the
+// full production window — and surface the dial error.
+func TestJoinDialBounded(t *testing.T) {
+	addr := reserveAddr(t)
+	t0 := time.Now()
+	if _, err := dialCoordinator(addr, 3); err == nil {
+		t.Fatal("dial succeeded with no listener")
+	}
+	// 3 attempts sleep at most 50+100 ms plus jitter; a generous ceiling
+	// still catches an unbounded loop.
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("3 bounded attempts took %v", elapsed)
+	}
+}

@@ -47,6 +47,17 @@ import (
 // mid-job turns into an error instead of a hang.
 const collTimeout = 2 * time.Minute
 
+// writeTimeout bounds any single frame write: a peer that stopped reading
+// (wedged process, dead NAT entry) eventually fills the TCP window and
+// would otherwise block the sender forever. payloadTimeout bounds the
+// body phase of a frame read — a link may sit idle indefinitely waiting
+// for the next header, but once a header arrives the payload is already
+// in flight and must follow promptly.
+const (
+	writeTimeout   = 2 * time.Minute
+	payloadTimeout = 60 * time.Second
+)
+
 // netFailure wraps a transport-layer error for the panic/recover hop
 // from deep inside the executor to the job boundary.
 type netFailure struct{ err error }
@@ -514,10 +525,13 @@ func newLink(conn net.Conn) *link {
 }
 
 // writeFrame sends one frame; the write mutex keeps concurrently
-// flushing workers (and the relay) from interleaving frames.
+// flushing workers (and the relay) from interleaving frames. Each frame
+// re-arms the write deadline, so only a transfer that stalls for the full
+// writeTimeout fails — sustained slow progress does not.
 func (l *link) writeFrame(ft frameType, payload []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
+	l.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	var hdr [frameHdrLen]byte
 	putFrameHeader(hdr[:], ft, len(payload))
 	if _, err := l.conn.Write(hdr[:]); err != nil {
@@ -544,13 +558,22 @@ func (l *link) fail(err error) {
 }
 
 // readLoop demuxes inbound frames until the connection dies or says bye.
+// The header wait is deadline-free (links idle between jobs); the payload
+// phase is bounded by payloadTimeout.
 func (n *node) readLoop(l *link) {
 	for {
-		ft, payload, err := readFrame(l.br)
+		ft, size, err := readFrameHeader(l.br)
 		if err != nil {
 			l.fail(fmt.Errorf("shard: wire read: %w", err))
 			return
 		}
+		l.conn.SetReadDeadline(time.Now().Add(payloadTimeout))
+		payload, err := readFramePayload(l.br, size)
+		if err != nil {
+			l.fail(fmt.Errorf("shard: wire read: %w", err))
+			return
+		}
+		l.conn.SetReadDeadline(time.Time{})
 		metNetFramesRecv.Inc()
 		metNetBytesRecv.Add(uint64(frameHdrLen + len(payload)))
 		switch ft {

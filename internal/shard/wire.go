@@ -72,30 +72,52 @@ func putFrameHeader(hdr []byte, ft frameType, n int) {
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(n))
 }
 
-// readFrame reads one frame off r, validating magic, version and length.
-// The returned payload is freshly allocated and owned by the caller.
-func readFrame(r io.Reader) (frameType, []byte, error) {
+// readFrameHeader reads and validates one frame header off r, returning
+// the frame type and the announced payload length. Split from the payload
+// read so callers with a connection in hand can wait for the header
+// without a deadline (idle links are legitimate) but bound the payload
+// phase — once a header arrives, the body is already in flight.
+func readFrameHeader(r io.Reader) (frameType, int, error) {
 	var hdr [frameHdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, err
 	}
 	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
-		return 0, nil, fmt.Errorf("shard: bad frame magic %02x%02x", hdr[0], hdr[1])
+		return 0, 0, fmt.Errorf("shard: bad frame magic %02x%02x", hdr[0], hdr[1])
 	}
 	if hdr[2] != wireVersion {
-		return 0, nil, fmt.Errorf("shard: wire version %d, want %d", hdr[2], wireVersion)
+		return 0, 0, fmt.Errorf("shard: wire version %d, want %d", hdr[2], wireVersion)
 	}
 	ft := frameType(hdr[3])
 	if ft < ftHello || ft > ftError {
-		return 0, nil, fmt.Errorf("shard: unknown frame type %d", hdr[3])
+		return 0, 0, fmt.Errorf("shard: unknown frame type %d", hdr[3])
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:8])
 	if n > maxFrameLen {
-		return 0, nil, fmt.Errorf("shard: frame length %d exceeds cap %d", n, maxFrameLen)
+		return 0, 0, fmt.Errorf("shard: frame length %d exceeds cap %d", n, maxFrameLen)
 	}
+	return ft, int(n), nil
+}
+
+// readFramePayload reads the n payload bytes a header announced. The
+// returned payload is freshly allocated and owned by the caller.
+func readFramePayload(r io.Reader, n int) ([]byte, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("shard: truncated %d-byte frame: %w", n, err)
+		return nil, fmt.Errorf("shard: truncated %d-byte frame: %w", n, err)
+	}
+	return payload, nil
+}
+
+// readFrame reads one frame off r, validating magic, version and length.
+func readFrame(r io.Reader) (frameType, []byte, error) {
+	ft, n, err := readFrameHeader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	payload, err := readFramePayload(r, n)
+	if err != nil {
+		return 0, nil, err
 	}
 	return ft, payload, nil
 }

@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aamgo/internal/graph"
+)
+
+// Checkpoint protocol. A checkpoint makes the log tail cheap again:
+//
+//	1. Sync the log — every record up to the snapshot epoch is on disk
+//	   before anything references it.
+//	2. Freeze the current snapshot and write it as a binary CSR to
+//	   snap-<epoch>.aamg (tmp + rename + directory sync, so a crash
+//	   leaves either the old complete file set or the new one).
+//	3. Roll the active segment, so every record with epoch ≤ the
+//	   snapshot's lives in a sealed segment.
+//	4. Commit the manifest (tmp + rename + directory sync). From this
+//	   point recovery starts at the new snapshot.
+//	5. Truncate: delete sealed segments whose last epoch the snapshot
+//	   covers, and snapshots older than the new one.
+//
+// Every step is ordered after the one before it by an fsync, and the
+// rename in step 4 is the atomic commit point: a crash anywhere earlier
+// recovers from the previous manifest (the old snapshot and segments are
+// still intact — deletion only happens after the new manifest is
+// durable), a crash after it recovers from the new one.
+
+const manifestName = "MANIFEST"
+
+// manifest is the recovery root, committed atomically by rename.
+type manifest struct {
+	Version       int    `json:"version"`
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	Snapshot      string `json:"snapshot"`
+	ActiveSeg     uint64 `json:"active_seg"`
+}
+
+func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016x.aamg", epoch) }
+
+// Checkpoint persists the attached graph's current snapshot and truncates
+// the log behind it. Safe to call concurrently with appends; concurrent
+// checkpoints serialize.
+func (l *Log) Checkpoint() error {
+	if l.graph == nil {
+		return fmt.Errorf("wal: no graph attached")
+	}
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
+	snap := l.graph.Snapshot()
+	epoch := snap.Epoch()
+	if epoch == l.lastCkpt.Load() && l.checkpoints.Load() > 0 {
+		return nil // nothing new since the last checkpoint
+	}
+
+	if err := l.Sync(); err != nil {
+		return err
+	}
+
+	frozen := snap.Freeze()
+	file := snapName(epoch)
+	if err := writeFileAtomic(l.opts.Dir, file, func(f *os.File) error {
+		return graph.WriteBinary(f, frozen)
+	}); err != nil {
+		return err
+	}
+
+	l.fmu.Lock()
+	var rollErr error
+	if l.segSize > segHeaderLen {
+		rollErr = l.rollLocked()
+	}
+	active := l.segSeq
+	sealed := append([]segMeta(nil), l.sealed...)
+	l.fmu.Unlock()
+	if rollErr != nil {
+		return rollErr
+	}
+
+	if err := writeFileAtomic(l.opts.Dir, manifestName, func(f *os.File) error {
+		return json.NewEncoder(f).Encode(manifest{
+			Version:       1,
+			SnapshotEpoch: epoch,
+			Snapshot:      file,
+			ActiveSeg:     active,
+		})
+	}); err != nil {
+		return err
+	}
+	prev := l.lastCkpt.Swap(epoch)
+	l.checkpoints.Add(1)
+
+	// Truncation: drop segments the snapshot covers and the previous
+	// snapshot. Failures here are cosmetic (recovery skips covered
+	// records anyway), so errors are ignored.
+	keep := sealed[:0]
+	for _, sm := range sealed {
+		// lastEpoch 0 marks a header-only segment: trivially covered.
+		if sm.lastEpoch <= epoch {
+			os.Remove(filepath.Join(l.opts.Dir, segName(sm.seq)))
+			continue
+		}
+		keep = append(keep, sm)
+	}
+	l.fmu.Lock()
+	// Sealed only grows; the kept prefix plus anything rolled since.
+	l.sealed = append(keep, l.sealed[len(sealed):]...)
+	l.fmu.Unlock()
+	if prev != epoch {
+		os.Remove(filepath.Join(l.opts.Dir, snapName(prev)))
+	}
+	return nil
+}
+
+// writeFileAtomic writes name in dir via a temp file, fsync, rename and
+// directory sync — the file either exists complete or not at all.
+func writeFileAtomic(dir, name string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

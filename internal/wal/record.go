@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"aamgo/internal/dyn"
+)
+
+// WAL record wire format, version 1 (all fields little-endian):
+//
+//	length  u32   payload byte count (excludes this 8-byte header)
+//	crc     u32   CRC32C (Castagnoli) of the payload bytes
+//	payload:
+//	  type   u8    recBatch
+//	  epoch  u64   epoch the batch produced (strictly +1 per record)
+//	  n      u32   post-batch vertex count   } recovery re-verifies both
+//	  arcs   u64   post-batch arc count      } after replaying the batch
+//	  count  u32   mutation count
+//	  count × { kind u8, u u32, v u32 }
+//
+// The count is redundant with the framed length — decode cross-checks
+// them exactly, so a hostile length prefix can never make it allocate
+// beyond the checksummed bytes actually present. Any decode failure is a
+// torn-tail signal: recovery truncates at the last good record boundary
+// instead of guessing.
+
+const (
+	recHeaderLen = 8
+	recFixedLen  = 1 + 8 + 4 + 8 + 4 // type + epoch + n + arcs + count
+	recMutLen    = 1 + 4 + 4         // kind + u + v
+
+	recBatch = 1
+
+	// maxRecordLen bounds one record's payload; anything larger in a
+	// length prefix is corruption, not a real record.
+	maxRecordLen = 64 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (SSE4.2-accelerated).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn is the sentinel wrapped by every decode failure: the bytes at
+// this offset are not a complete valid record, so the log ends here.
+var errTorn = errors.New("wal: torn or corrupt record")
+
+// batchRecord is one decoded WAL record.
+type batchRecord struct {
+	epoch uint64
+	n     int
+	arcs  int64
+	batch []dyn.Mutation
+}
+
+// appendRecord appends the framed encoding of ci to dst.
+func appendRecord(dst []byte, ci dyn.CommitInfo) []byte {
+	payLen := recFixedLen + recMutLen*len(ci.Batch)
+	hdrOff := len(dst)
+	dst = append(dst, make([]byte, recHeaderLen)...)
+	payOff := len(dst)
+	dst = append(dst, recBatch)
+	dst = binary.LittleEndian.AppendUint64(dst, ci.Epoch)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ci.N))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ci.Arcs))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ci.Batch)))
+	for _, m := range ci.Batch {
+		dst = append(dst, byte(m.Kind))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(m.U))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(m.V))
+	}
+	binary.LittleEndian.PutUint32(dst[hdrOff:], uint32(payLen))
+	binary.LittleEndian.PutUint32(dst[hdrOff+4:], crc32.Checksum(dst[payOff:], castagnoli))
+	return dst
+}
+
+// recordSize returns the framed size of a record carrying muts mutations.
+func recordSize(muts int) int { return recHeaderLen + recFixedLen + recMutLen*muts }
+
+// decodeRecord parses one record from the head of b, returning the record
+// and the bytes consumed. Every failure wraps errTorn.
+func decodeRecord(b []byte) (batchRecord, int, error) {
+	var rec batchRecord
+	if len(b) < recHeaderLen {
+		return rec, 0, fmt.Errorf("%w: %d-byte header fragment", errTorn, len(b))
+	}
+	payLen := int(binary.LittleEndian.Uint32(b))
+	wantCRC := binary.LittleEndian.Uint32(b[4:])
+	if payLen < recFixedLen || payLen > maxRecordLen {
+		return rec, 0, fmt.Errorf("%w: implausible length %d", errTorn, payLen)
+	}
+	if len(b) < recHeaderLen+payLen {
+		return rec, 0, fmt.Errorf("%w: payload short (%d of %d bytes)", errTorn, len(b)-recHeaderLen, payLen)
+	}
+	payload := b[recHeaderLen : recHeaderLen+payLen]
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return rec, 0, fmt.Errorf("%w: crc %08x, want %08x", errTorn, got, wantCRC)
+	}
+	if payload[0] != recBatch {
+		return rec, 0, fmt.Errorf("%w: unknown record type %d", errTorn, payload[0])
+	}
+	rec.epoch = binary.LittleEndian.Uint64(payload[1:])
+	rec.n = int(binary.LittleEndian.Uint32(payload[9:]))
+	rec.arcs = int64(binary.LittleEndian.Uint64(payload[13:]))
+	count := int(binary.LittleEndian.Uint32(payload[21:]))
+	if payLen != recFixedLen+count*recMutLen {
+		return rec, 0, fmt.Errorf("%w: count %d does not frame %d payload bytes", errTorn, count, payLen)
+	}
+	rec.batch = make([]dyn.Mutation, count)
+	for i := range rec.batch {
+		off := recFixedLen + i*recMutLen
+		rec.batch[i] = dyn.Mutation{
+			Kind: dyn.Kind(payload[off]),
+			U:    int32(binary.LittleEndian.Uint32(payload[off+1:])),
+			V:    int32(binary.LittleEndian.Uint32(payload[off+5:])),
+		}
+	}
+	return rec, recHeaderLen + payLen, nil
+}

@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aamgo/internal/dyn"
+	"aamgo/internal/graph"
+	"aamgo/internal/obs"
+)
+
+// Recovery. On boot, Open rebuilds the graph as:
+//
+//	snapshot (newest valid snap-*.aamg, per the manifest) + WAL tail
+//
+// and replays every segment in sequence order through dyn.Replay, skipping
+// records the snapshot already covers (epoch ≤ snapshot epoch) and
+// verifying after each replayed batch that the record's post-batch
+// vertex/arc counts match the live graph — a mismatch means the log and
+// the snapshot disagree about history, which is corruption worth failing
+// loudly over, not papering over.
+//
+// Torn-tail truncation argument: the committer writes records append-only
+// in epoch order and acknowledges a batch only after fsync, so the byte
+// prefix of the log up to any record boundary is exactly a valid history
+// prefix. A crash can leave (a) a partially written record at the tail —
+// short header, short payload, or CRC mismatch — which by construction
+// was never acknowledged, or (b) nothing unusual. Decode failures
+// therefore carry no acknowledged data; recovery truncates the segment at
+// the last good boundary and drops any later segments (unreachable
+// history — they can only exist if the corruption was not at the true
+// tail, and epoch continuity would fail anyway). It never panics on log
+// bytes.
+
+// RecoveryStats reports what Open's recovery pass did.
+type RecoveryStats struct {
+	SnapshotEpoch    uint64 `json:"snapshot_epoch"`
+	SnapshotFile     string `json:"snapshot_file,omitempty"`
+	SegmentsScanned  int    `json:"segments_scanned"`
+	ReplayedBatches  uint64 `json:"replayed_batches"`
+	SkippedRecords   uint64 `json:"skipped_records"`
+	TruncatedRecords uint64 `json:"truncated_records"`
+	TruncatedBytes   uint64 `json:"truncated_bytes"`
+	RecoveredEpoch   uint64 `json:"recovered_epoch"`
+	DurationNS       int64  `json:"duration_ns"`
+}
+
+// Open recovers the state in opts.Dir, attaches a Log to the recovered
+// graph and starts the commit path. An empty (or absent) directory starts
+// from newBase's graph at epoch 0. The returned graph is ready to serve:
+// every subsequent Apply is logged under opts.Mode.
+func Open(opts Options, newBase func() (*dyn.Graph, error)) (*dyn.Graph, *Log, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	l := &Log{
+		opts:       opts,
+		histGroup:  obs.NewHistogram(),
+		histCommit: obs.NewHistogram(),
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	g, err := l.recover(newBase)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.recovery.RecoveredEpoch = g.Epoch()
+	l.recovery.DurationNS = int64(time.Since(start))
+
+	l.graph = g
+	l.mu.Lock()
+	l.lastEpoch = g.Epoch()
+	l.mu.Unlock()
+
+	// The active segment is always fresh (one past the highest recovered
+	// sequence): appending to a recovered file would interleave new
+	// history with bytes this process never vetted.
+	l.fmu.Lock()
+	l.segSeq++
+	err = l.openSegLocked()
+	l.fmu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l.wg.Add(1)
+	go l.committer()
+	if opts.CheckpointEvery > 0 {
+		l.ckptCh = make(chan struct{}, 1)
+		l.wg.Add(1)
+		go l.checkpointer()
+	}
+	g.SetWALHook(l.hook)
+	return g, l, nil
+}
+
+// recover loads the snapshot and replays the segments, filling l.recovery,
+// l.sealed and l.segSeq. It returns the recovered graph.
+func (l *Log) recover(newBase func() (*dyn.Graph, error)) (*dyn.Graph, error) {
+	g, err := l.loadSnapshot(newBase)
+	if err != nil {
+		return nil, err
+	}
+
+	seqs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	torn := false
+	for _, seq := range seqs {
+		if seq > l.segSeq {
+			l.segSeq = seq
+		}
+		if torn {
+			// Unreachable history past the first torn record; see the
+			// truncation argument above.
+			path := filepath.Join(l.opts.Dir, segName(seq))
+			if fi, serr := os.Stat(path); serr == nil {
+				l.recovery.TruncatedBytes += uint64(fi.Size())
+			}
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		segTorn, lastEpoch, kept, err := l.replaySegment(g, seq)
+		if err != nil {
+			return nil, err
+		}
+		torn = segTorn
+		if kept {
+			l.sealed = append(l.sealed, segMeta{seq: seq, lastEpoch: lastEpoch})
+		}
+	}
+	l.recovery.SegmentsScanned = len(seqs)
+	return g, nil
+}
+
+// loadSnapshot restores the checkpointed base: the manifest's snapshot if
+// it is intact, else the newest snapshot file that parses, else newBase.
+func (l *Log) loadSnapshot(newBase func() (*dyn.Graph, error)) (*dyn.Graph, error) {
+	var candidates []string
+	if man, err := readManifest(l.opts.Dir); err == nil && man != nil {
+		candidates = append(candidates, man.Snapshot)
+	}
+	snaps, err := filepath.Glob(filepath.Join(l.opts.Dir, "snap-*.aamg"))
+	if err == nil {
+		sort.Sort(sort.Reverse(sort.StringSlice(snaps))) // hex names: newest first
+		for _, s := range snaps {
+			candidates = append(candidates, filepath.Base(s))
+		}
+	}
+	for _, name := range candidates {
+		epoch, ok := snapEpochFromName(name)
+		if !ok {
+			continue
+		}
+		base, err := readSnapshotFile(filepath.Join(l.opts.Dir, name))
+		if err != nil {
+			continue // damaged snapshot: fall back to an older one
+		}
+		g, err := dyn.NewWithEpoch(base, epoch)
+		if err != nil {
+			continue
+		}
+		l.recovery.SnapshotEpoch = epoch
+		l.recovery.SnapshotFile = name
+		l.lastCkpt.Store(epoch)
+		return g, nil
+	}
+	return newBase()
+}
+
+func readSnapshotFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadBinary(f)
+}
+
+func snapEpochFromName(name string) (uint64, bool) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".aamg")
+	if len(hex) != 16 || hex == name {
+		return 0, false
+	}
+	epoch, err := strconv.ParseUint(hex, 16, 64)
+	return epoch, err == nil
+}
+
+// readManifest returns the manifest, nil if absent, or an error the
+// caller should treat as "fall back to scanning".
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, err
+	}
+	if man.Version != 1 || man.Snapshot == "" {
+		return nil, fmt.Errorf("wal: bad manifest version %d", man.Version)
+	}
+	return &man, nil
+}
+
+// listSegments returns the wal-*.seg sequence numbers in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, p := range paths {
+		hex := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "wal-"), ".seg")
+		seq, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil || len(hex) != 16 {
+			continue // not ours
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// replaySegment replays one segment into g. It returns torn=true when the
+// segment ended in a partial/corrupt record (after truncating the file at
+// the last good boundary), the highest epoch the surviving records carry,
+// and kept=false when the file held nothing durable and was removed.
+func (l *Log) replaySegment(g *dyn.Graph, seq uint64) (torn bool, lastEpoch uint64, kept bool, err error) {
+	path := filepath.Join(l.opts.Dir, segName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, 0, false, err
+	}
+	truncateAt := func(off int) error {
+		l.recovery.TruncatedRecords++
+		l.recovery.TruncatedBytes += uint64(len(data) - off)
+		return os.Truncate(path, int64(off))
+	}
+	if len(data) < segHeaderLen || !bytes.Equal(data[:4], segMagic[:]) || data[4] != segVersion {
+		// Header never made it out: the segment holds nothing durable.
+		l.recovery.TruncatedRecords++
+		l.recovery.TruncatedBytes += uint64(len(data))
+		return true, 0, false, os.Remove(path)
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		rec, size, derr := decodeRecord(data[off:])
+		if derr != nil {
+			return true, lastEpoch, true, truncateAt(off)
+		}
+		if rec.epoch <= g.Epoch() {
+			// Covered by the snapshot (or an earlier segment overlap).
+			l.recovery.SkippedRecords++
+			lastEpoch = rec.epoch
+			off += size
+			continue
+		}
+		if rec.epoch != g.Epoch()+1 {
+			return false, 0, false, fmt.Errorf("wal: %s: epoch gap: record %d after state %d", segName(seq), rec.epoch, g.Epoch())
+		}
+		res, rerr := g.Replay(rec.batch)
+		if rerr != nil {
+			return false, 0, false, fmt.Errorf("wal: %s: replay epoch %d: %w", segName(seq), rec.epoch, rerr)
+		}
+		if res.Epoch != rec.epoch || g.N() != rec.n || g.NumArcs() != rec.arcs {
+			return false, 0, false, fmt.Errorf("wal: %s: epoch %d replay mismatch: got n=%d arcs=%d, record says n=%d arcs=%d",
+				segName(seq), rec.epoch, g.N(), g.NumArcs(), rec.n, rec.arcs)
+		}
+		l.recovery.ReplayedBatches++
+		lastEpoch = rec.epoch
+		off += size
+	}
+	return false, lastEpoch, true, nil
+}
