@@ -21,11 +21,20 @@
 //	curl 'localhost:8080/query/bfs?src=0'
 //	curl 'localhost:8080/query/bfs?src=0&shards=4'   # sharded executor
 //	curl 'localhost:8080/query/bfs?src=0&engine=gblas'  # masked-SpMV engine
+//	curl 'localhost:8080/query/bfs?src=0&engine=cluster&shards=4'  # distributed
 //	curl 'localhost:8080/query/bfs?src=0&trace=1'    # embed the trace span
 //	curl 'localhost:8080/query/cc'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'                    # Prometheus exposition
 //	curl 'localhost:8080/debug/slowlog'              # top-K slowest queries
+//
+// With -cluster-listen the daemon also runs a shard coordinator: once
+// -cluster-workers aam-worker processes have joined, ?engine=cluster
+// queries execute across the cluster, and if the cluster degrades (a
+// worker dies mid-query and retries are exhausted) the query falls back
+// to the in-process sharded engine — the response's "cluster" block says
+// which happened. -max-wait bounds queueing for a pool slot: past the
+// budget the server answers 429 with a Retry-After hint.
 //
 // With -data-dir, every mutation batch is written to a write-ahead log in
 // that directory before it is acknowledged (-durability picks the fsync
@@ -54,6 +63,7 @@ import (
 	"aamgo/internal/dyn"
 	"aamgo/internal/graph"
 	"aamgo/internal/serve"
+	"aamgo/internal/shard"
 	"aamgo/internal/wal"
 )
 
@@ -79,6 +89,9 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory only")
 		durab    = flag.String("durability", "batch", "WAL durability with -data-dir: fsync, batch or off")
 		ckptEvry = flag.Uint64("checkpoint-every", 4096, "checkpoint once this many epochs accumulate past the last one (0 disables automatic checkpoints)")
+		maxWait  = flag.Duration("max-wait", 0, "bound on time a request may wait for a pool slot; past it the server sheds it with 429 (0 = wait indefinitely)")
+		clListen = flag.String("cluster-listen", "", "run a shard coordinator on this address and route ?engine=cluster queries over it once -cluster-workers have joined")
+		clNum    = flag.Int("cluster-workers", 2, "worker processes to wait for on -cluster-listen")
 	)
 	flag.Parse()
 
@@ -155,6 +168,7 @@ func main() {
 		Threads:       *threads,
 		M:             *coarsen,
 		MaxConcurrent: *workers,
+		MaxQueueWait:  *maxWait,
 		CacheBytes:    cacheBytes,
 		Seed:          *seed,
 		EnablePprof:   *pprofOn,
@@ -164,6 +178,31 @@ func main() {
 	})
 	if err != nil {
 		fatal("starting server", "err", err)
+	}
+
+	// With -cluster-listen the daemon doubles as a shard coordinator.
+	// Workers join in the background (aam-worker -join <addr> -rejoin);
+	// the cluster is attached to the query path only once the full rank
+	// set has handshaked, so the HTTP listener never waits on it.
+	var cluster *shard.Cluster
+	if *clListen != "" {
+		cluster, err = shard.NewClusterOpts(*clListen, *clNum, shard.ClusterOptions{
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fatal("cluster listen", "addr", *clListen, "err", err)
+		}
+		logger.Info("cluster coordinator listening", "addr", cluster.Addr(), "workers", *clNum)
+		go func() {
+			if err := cluster.Accept(); err != nil {
+				logger.Error("cluster accept", "err", err)
+				return
+			}
+			srv.SetCluster(cluster)
+			logger.Info("cluster attached", "workers", *clNum)
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -200,6 +239,9 @@ func main() {
 	// or was rejected whole, so the final stats describe a settled graph.
 	if err := srv.Drain(); err != nil {
 		logger.Warn("drain", "err", err)
+	}
+	if cluster != nil {
+		cluster.Close() // workers see a clean bye, not an EOF
 	}
 	if walLog != nil {
 		if err := walLog.Checkpoint(); err != nil {

@@ -54,6 +54,15 @@ func main() {
 		src  = flag.Int("src", -1, "bfs/sssp source (-1 = max degree)")
 		iter = flag.Int("iters", 20, "pagerank iterations")
 		damp = flag.Float64("damping", 0.85, "pagerank damping")
+
+		rejoin      = flag.Bool("rejoin", false, "worker: rejoin after session failures (evictions, coordinator aborts) until the coordinator says bye")
+		retries     = flag.Int("retries", 0, "coordinator: job retries over surviving ranks (0 = default of 2, negative = none)")
+		repeat      = flag.Int("repeat", 1, "coordinator: run the algorithm list this many times")
+		heartbeat   = flag.Duration("heartbeat", 0, "coordinator: probe interval on quiet worker links (0 = default 5s)")
+		liveness    = flag.Duration("liveness", 0, "coordinator: evict a rank after this much link silence (0 = default 15s)")
+		collTO      = flag.Duration("coll-timeout", 0, "per-collective wait bound before declaring a peer dead (0 = default 2m)")
+		jobTO       = flag.Duration("job-timeout", 0, "per-job watchdog bound (0 = default 10m)")
+		rejoinGrace = flag.Duration("rejoin-grace", 0, "coordinator: wait this long for evicted ranks to be replaced before a retry shrinks the rank set (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -67,17 +76,31 @@ func main() {
 	if *join != "" {
 		// Worker: JoinCluster retries the dial with bounded jittered
 		// backoff, so a coordinator still binding its listener is fine.
-		if err := shard.JoinCluster(*join); err != nil {
-			fail(err)
+		// With -rejoin, session failures (an eviction after a stall, a
+		// chaos kill, a coordinator-side abort gone wrong) re-handshake
+		// into the vacated rank instead of exiting; the loop ends on a
+		// clean bye (nil) or when the coordinator is gone for good (the
+		// dial's ~1 minute retry window exhausts).
+		for {
+			err := shard.JoinCluster(*join)
+			if err == nil {
+				return
+			}
+			if !*rejoin {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "aam-worker: session ended (%v), rejoining\n", err)
 		}
-		return
 	}
 
 	mechanism, err := parseMech(*mech)
 	if err != nil {
 		fail(err)
 	}
-	cfg := shard.Config{Shards: *shards, Workers: *sw, BatchSize: *batch, Mechanism: mechanism}
+	cfg := shard.Config{
+		Shards: *shards, Workers: *sw, BatchSize: *batch, Mechanism: mechanism,
+		CollTimeout: *collTO, JobTimeout: *jobTO,
+	}
 
 	g := graph.Kronecker(*scale, *deg, *seed)
 	wg := graph.AttachSymmetricWeights(g, uint64(*seed))
@@ -87,7 +110,15 @@ func main() {
 	}
 	fmt.Printf("graph: kron scale %d, %d vertices, %d directed edges\n", *scale, g.N, g.NumEdges())
 
-	c, err := shard.NewCluster(*listen, *workers)
+	opts := shard.ClusterOptions{
+		Net:         shard.Config{HeartbeatEvery: *heartbeat, Liveness: *liveness, CollTimeout: *collTO},
+		JobRetries:  *retries,
+		RejoinGrace: *rejoinGrace,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	c, err := shard.NewClusterOpts(*listen, *workers, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -100,105 +131,110 @@ func main() {
 	fmt.Printf("coordinator: %d workers joined, cluster is %d ranks\n", *workers, *workers+1)
 
 	failed := false
-	for _, name := range strings.Split(*algos, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	for round := 0; round < *repeat; round++ {
+		if *repeat > 1 {
+			fmt.Printf("--- round %d/%d (workers live: %d)\n", round+1, *repeat, c.LiveWorkers())
 		}
-		var (
-			stats shard.Stats
-			diff  string
-			err   error
-		)
-		t0 := time.Now()
-		switch name {
-		case "bfs":
-			var dres, sres shard.BFSResult
-			dres, err = c.BFS(g, source, cfg)
-			if err == nil {
-				stats = dres.Totals()
-				if *check {
-					if sres, err = shard.BFS(g, source, cfg); err == nil {
-						diff = diffInt32s("depth", algo.BFSDepths(g, source, dres.Parents), algo.BFSDepths(g, source, sres.Parents))
-					}
-				}
+		for _, name := range strings.Split(*algos, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
 			}
-		case "pagerank":
-			var dres, sres shard.PRResult
-			dres, err = c.PageRank(g, *damp, *iter, cfg)
-			if err == nil {
-				stats = dres.Totals()
-				if *check {
-					if sres, err = shard.PageRank(g, *damp, *iter, cfg); err == nil {
-						diff = diffFloat64s("rank", dres.Ranks, sres.Ranks)
-					}
-				}
-			}
-		case "cc":
-			var dres, sres shard.CCResult
-			dres, err = c.Components(g, cfg)
-			if err == nil {
-				stats = dres.Totals()
-				if *check {
-					if sres, err = shard.Components(g, cfg); err == nil {
-						diff = diffInt32s("label", dres.Labels, sres.Labels)
-					}
-				}
-			}
-		case "sssp":
-			var dres, sres shard.SSSPResult
-			dres, err = c.SSSP(wg, source, 0, cfg)
-			if err == nil {
-				stats = dres.Totals()
-				if *check {
-					if sres, err = shard.SSSP(wg, source, 0, cfg); err == nil {
-						diff = diffUint64s("dist", dres.Dists, sres.Dists)
-					}
-				}
-			}
-		case "mst":
-			var dres, sres shard.MSTResult
-			dres, err = c.MST(wg, cfg)
-			if err == nil {
-				stats = dres.Totals()
-				if *check {
-					if sres, err = shard.MST(wg, cfg); err == nil {
-						diff = diffInt32s("label", dres.Labels, sres.Labels)
-						if diff == "" && dres.Weight != sres.Weight {
-							diff = fmt.Sprintf("forest weight %d vs %d in-process", dres.Weight, sres.Weight)
+			var (
+				stats shard.Stats
+				diff  string
+				err   error
+			)
+			t0 := time.Now()
+			switch name {
+			case "bfs":
+				var dres, sres shard.BFSResult
+				dres, err = c.BFS(g, source, cfg)
+				if err == nil {
+					stats = dres.Totals()
+					if *check {
+						if sres, err = shard.BFS(g, source, cfg); err == nil {
+							diff = diffInt32s("depth", algo.BFSDepths(g, source, dres.Parents), algo.BFSDepths(g, source, sres.Parents))
 						}
 					}
 				}
-			}
-		case "coloring":
-			var dres, sres shard.ColoringResult
-			dres, err = c.Coloring(g, 0, cfg)
-			if err == nil {
-				stats = dres.Totals()
-				if *check {
-					if sres, err = shard.Coloring(g, 0, cfg); err == nil {
-						diff = diffInt32s("color", dres.Colors, sres.Colors)
+			case "pagerank":
+				var dres, sres shard.PRResult
+				dres, err = c.PageRank(g, *damp, *iter, cfg)
+				if err == nil {
+					stats = dres.Totals()
+					if *check {
+						if sres, err = shard.PageRank(g, *damp, *iter, cfg); err == nil {
+							diff = diffFloat64s("rank", dres.Ranks, sres.Ranks)
+						}
 					}
 				}
+			case "cc":
+				var dres, sres shard.CCResult
+				dres, err = c.Components(g, cfg)
+				if err == nil {
+					stats = dres.Totals()
+					if *check {
+						if sres, err = shard.Components(g, cfg); err == nil {
+							diff = diffInt32s("label", dres.Labels, sres.Labels)
+						}
+					}
+				}
+			case "sssp":
+				var dres, sres shard.SSSPResult
+				dres, err = c.SSSP(wg, source, 0, cfg)
+				if err == nil {
+					stats = dres.Totals()
+					if *check {
+						if sres, err = shard.SSSP(wg, source, 0, cfg); err == nil {
+							diff = diffUint64s("dist", dres.Dists, sres.Dists)
+						}
+					}
+				}
+			case "mst":
+				var dres, sres shard.MSTResult
+				dres, err = c.MST(wg, cfg)
+				if err == nil {
+					stats = dres.Totals()
+					if *check {
+						if sres, err = shard.MST(wg, cfg); err == nil {
+							diff = diffInt32s("label", dres.Labels, sres.Labels)
+							if diff == "" && dres.Weight != sres.Weight {
+								diff = fmt.Sprintf("forest weight %d vs %d in-process", dres.Weight, sres.Weight)
+							}
+						}
+					}
+				}
+			case "coloring":
+				var dres, sres shard.ColoringResult
+				dres, err = c.Coloring(g, 0, cfg)
+				if err == nil {
+					stats = dres.Totals()
+					if *check {
+						if sres, err = shard.Coloring(g, 0, cfg); err == nil {
+							diff = diffInt32s("color", dres.Colors, sres.Colors)
+						}
+					}
+				}
+			default:
+				err = fmt.Errorf("unknown algorithm %q", name)
 			}
-		default:
-			err = fmt.Errorf("unknown algorithm %q", name)
-		}
-		elapsed := time.Since(t0)
-		switch {
-		case err != nil:
-			failed = true
-			fmt.Printf("%-9s FAIL  %v\n", name, err)
-		case diff != "":
-			failed = true
-			fmt.Printf("%-9s DIFF  %s\n", name, diff)
-		default:
-			status := "ok"
-			if *check {
-				status = "ok (matches in-process)"
+			elapsed := time.Since(t0)
+			switch {
+			case err != nil:
+				failed = true
+				fmt.Printf("%-9s FAIL  %v\n", name, err)
+			case diff != "":
+				failed = true
+				fmt.Printf("%-9s DIFF  %s\n", name, diff)
+			default:
+				status := "ok"
+				if *check {
+					status = "ok (matches in-process)"
+				}
+				fmt.Printf("%-9s %-22s %8v  wire: %d batches, %d bytes\n",
+					name, status, elapsed.Round(time.Millisecond), stats.WireBatchesSent, stats.WireBytesSent)
 			}
-			fmt.Printf("%-9s %-22s %8v  wire: %d batches, %d bytes\n",
-				name, status, elapsed.Round(time.Millisecond), stats.WireBatchesSent, stats.WireBytesSent)
 		}
 	}
 	c.Close()

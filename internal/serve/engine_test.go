@@ -117,7 +117,7 @@ func TestEngineLatencyMetric(t *testing.T) {
 	}
 	// The other engines' series exist from registration even without
 	// traffic (a scrape sees the full label space).
-	for _, eng := range []string{"aam", "shard"} {
+	for _, eng := range []string{"aam", "shard", "cluster"} {
 		if !strings.Contains(text, `aam_serve_query_latency_ns{engine="`+eng+`"`) {
 			t.Fatalf("%s engine latency series missing from /metrics", eng)
 		}

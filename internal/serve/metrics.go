@@ -46,8 +46,8 @@ func (s *Server) initMetrics(endpoints []string) {
 	// whichever endpoint resolved a query to that engine. The engine labels
 	// cut across the endpoint labels above — "is gblas slower than shard on
 	// this workload" is one scrape, not a per-endpoint join.
-	s.engLat = make(map[string]*obs.Histogram, 3)
-	for _, eng := range []string{engAAM, engShard, engGBLAS} {
+	s.engLat = make(map[string]*obs.Histogram, 4)
+	for _, eng := range []string{engAAM, engShard, engGBLAS, engCluster} {
 		s.engLat[eng] = s.reg.Histogram(fmt.Sprintf("aam_serve_query_latency_ns{engine=%q}", eng))
 	}
 
@@ -60,6 +60,11 @@ func (s *Server) initMetrics(endpoints []string) {
 	s.reg.CounterFunc("aam_serve_queries_total", s.queries.Load)
 	s.reg.CounterFunc("aam_serve_mutations_total", s.mutations.Load)
 	s.reg.CounterFunc("aam_serve_bad_requests_total", s.rejected.Load)
+	// Admission-control sheds (429 past MaxQueueWait) and cluster queries
+	// answered in-process after a distributed failure: the two signals an
+	// operator watches when the service is degraded but not down.
+	s.reg.CounterFunc("aam_serve_rejected_total", s.throttled.Load)
+	s.reg.CounterFunc("aam_serve_cluster_fallbacks_total", s.fallbacks.Load)
 	s.reg.CounterFunc("aam_serve_etag_304_total", s.notModified.Load)
 
 	if s.cache != nil {

@@ -92,6 +92,16 @@ type Config struct {
 	// MaxConcurrent bounds the worker pool: at most this many requests
 	// execute graph work at once; further requests wait (default 8).
 	MaxConcurrent int
+	// MaxQueueWait bounds how long a request may wait for a pool slot.
+	// Past the budget the server sheds the request with 429 and a
+	// Retry-After hint instead of stacking an unbounded convoy behind the
+	// pool. 0 (the default) preserves the historical behavior: wait until
+	// a slot frees or the client goes away.
+	MaxQueueWait time.Duration
+	// Cluster, when non-nil, is the distributed worker cluster behind
+	// ?engine=cluster queries. It can also be attached later (after its
+	// workers have joined) via SetCluster.
+	Cluster *shard.Cluster
 	// CacheBytes bounds the epoch-keyed query cache (LRU by total body
 	// bytes). 0 selects the 32 MiB default; negative disables the cache
 	// (singleflight collapsing included — ETag/304 handling stays on).
@@ -185,7 +195,14 @@ type Server struct {
 	queries     atomic.Uint64 // computed queries (cache hits and 304s excluded)
 	mutations   atomic.Uint64
 	rejected    atomic.Uint64 // requests that failed validation (4xx)
+	throttled   atomic.Uint64 // requests shed with 429 past MaxQueueWait
+	fallbacks   atomic.Uint64 // cluster queries degraded to in-process
 	notModified atomic.Uint64 // ETag If-None-Match hits answered 304
+
+	// cluster is the attached distributed worker cluster (nil until
+	// SetCluster); ?engine=cluster queries route through it and degrade
+	// to in-process execution when it cannot answer.
+	cluster atomic.Pointer[shard.Cluster]
 
 	draining atomic.Bool // Drain called: pool admits no new work
 }
@@ -207,6 +224,9 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = newQueryCache(cfg.CacheBytes)
+	}
+	if cfg.Cluster != nil {
+		s.cluster.Store(cfg.Cluster)
 	}
 	s.reg = obs.NewRegistry()
 	s.slow = newSlowlog(cfg.SlowlogK)
@@ -259,6 +279,12 @@ func New(g *dyn.Graph, cfg Config) (*Server, error) {
 // Handler returns the daemon's HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetCluster attaches (nil detaches) the distributed worker cluster
+// behind ?engine=cluster. Safe to call while serving: the daemon attaches
+// the cluster once its workers have joined; until then engine=cluster
+// requests answer 400.
+func (s *Server) SetCluster(c *shard.Cluster) { s.cluster.Store(c) }
+
 // pooled gates h behind the bounded worker pool. A request whose client
 // goes away while queued is dropped without running. Requests that find
 // every slot busy are counted as pool saturation before they wait. Once
@@ -274,15 +300,42 @@ func (s *Server) pooled(h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.poolSaturated.Inc()
-			select {
-			case s.sem <- struct{}{}:
-			case <-r.Context().Done():
-				http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
+			if !s.awaitSlot(w, r) {
 				return
 			}
 		}
 		defer func() { <-s.sem }()
 		h(w, r)
+	}
+}
+
+// awaitSlot queues one request on the worker pool. With MaxQueueWait set
+// the wait is bounded: admission control answers 429 with a Retry-After
+// hint when the budget expires, so under sustained overload clients see
+// an honest backpressure signal instead of unbounded queueing — the pool
+// keeps serving the requests it already admitted at full speed.
+func (s *Server) awaitSlot(w http.ResponseWriter, r *http.Request) bool {
+	var expired <-chan time.Time
+	if s.cfg.MaxQueueWait > 0 {
+		t := time.NewTimer(s.cfg.MaxQueueWait)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-expired:
+		s.throttled.Add(1)
+		retry := int((s.cfg.MaxQueueWait + time.Second - 1) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, "server busy: queue wait budget exhausted", http.StatusTooManyRequests)
+		return false
+	case <-r.Context().Done():
+		http.Error(w, "canceled while queued", http.StatusServiceUnavailable)
+		return false
 	}
 }
 
@@ -490,9 +543,10 @@ func (s *Server) txConfig(r *http.Request) (dyn.TxConfig, error) {
 
 // Wire names of the query engines (?engine=).
 const (
-	engAAM   = "aam"
-	engShard = "shard"
-	engGBLAS = "gblas"
+	engAAM     = "aam"
+	engShard   = "shard"
+	engGBLAS   = "gblas"
+	engCluster = "cluster"
 )
 
 // queryMech resolves ?mech= against the server default. Unlike the old
@@ -583,11 +637,54 @@ func (s *Server) querySel(r *http.Request) (string, shard.Config, int, error) {
 			return "", scfg, 0, fmt.Errorf("mech does not apply to the gblas engine")
 		}
 		eng = engGBLAS
+	case engCluster:
+		if shards < 2 {
+			return "", scfg, 0, fmt.Errorf("engine=cluster needs ?shards=N with N >= 2")
+		}
+		if s.cluster.Load() == nil {
+			return "", scfg, 0, fmt.Errorf("engine=cluster needs an attached worker cluster (start the daemon with -cluster-listen)")
+		}
+		eng = engCluster
 	default:
-		return "", scfg, 0, fmt.Errorf("unknown engine %q (want aam, shard or gblas)", name)
+		return "", scfg, 0, fmt.Errorf("unknown engine %q (want aam, shard, gblas or cluster)", name)
 	}
 	spanOf(r).Engine = eng
 	return eng, scfg, shards, nil
+}
+
+// clusterInfo reports how a cluster-routed query was executed; it is
+// embedded in the response body under "cluster" so a caller can tell a
+// distributed answer from a gracefully degraded in-process one.
+type clusterInfo struct {
+	Used     bool   `json:"used"`
+	Ranks    int    `json:"ranks,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// runSharded executes one sharded query body. On the shard engine it is
+// just local(). On the cluster engine it routes the job to the attached
+// worker cluster and, when the cluster cannot answer — detached, closed,
+// poisoned, or the distributed run failed even after its retries — it
+// degrades gracefully: the same query runs in-process via local() and the
+// response body and trace span record the fallback instead of surfacing
+// a 5xx to a caller whose query the server can still answer.
+func (s *Server) runSharded(r *http.Request, eng string, dist func(*shard.Cluster) error, local func() error) (*clusterInfo, error) {
+	if eng != engCluster {
+		return nil, local()
+	}
+	info := &clusterInfo{}
+	if c := s.cluster.Load(); c == nil {
+		info.Fallback = "no cluster attached"
+	} else if err := dist(c); err != nil {
+		info.Fallback = err.Error()
+	} else {
+		info.Used = true
+		info.Ranks = c.LiveWorkers() + 1
+		return info, nil
+	}
+	s.fallbacks.Add(1)
+	spanOf(r).Fallback = info.Fallback
+	return info, local()
 }
 
 // shardSummary renders the messaging counters of a sharded run and
@@ -807,9 +904,12 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	}
 	f := s.timedFreeze(r, snap)
 	switch eng {
-	case engShard:
+	case engShard, engCluster:
 		t0 := time.Now()
-		res, err := shard.BFS(f, src, scfg)
+		var res shard.BFSResult
+		cl, err := s.runSharded(r, eng,
+			func(c *shard.Cluster) (e error) { res, e = c.BFS(f, src, scfg); return },
+			func() (e error) { res, e = shard.BFS(f, src, scfg); return })
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
@@ -830,6 +930,9 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 			"levels":       res.Levels,
 			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		}
+		if cl != nil {
+			out["cluster"] = cl
 		}
 		if r.URL.Query().Get("full") == "1" {
 			out["parents"] = res.Parents
@@ -915,10 +1018,14 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "engine gblas does not implement components (use aam or shard)")
 		return
 	}
-	if eng == engShard {
+	if eng == engShard || eng == engCluster {
 		snap := s.g.Snapshot()
 		t0 := time.Now()
-		res, err := shard.Components(s.timedFreeze(r, snap), scfg)
+		f := s.timedFreeze(r, snap)
+		var res shard.CCResult
+		cl, err := s.runSharded(r, eng,
+			func(c *shard.Cluster) (e error) { res, e = c.Components(f, scfg); return },
+			func() (e error) { res, e = shard.Components(f, scfg); return })
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
@@ -936,6 +1043,9 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 			"rounds":       res.Rounds,
 			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
+		}
+		if cl != nil {
+			out["cluster"] = cl
 		}
 		if r.URL.Query().Get("full") == "1" {
 			out["labels"] = res.Labels
@@ -1012,15 +1122,18 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch eng {
-	case engShard:
+	case engShard, engCluster:
 		t0 := time.Now()
-		res, err := shard.PageRank(f, damping, iters, scfg)
+		var res shard.PRResult
+		cl, err := s.runSharded(r, eng,
+			func(c *shard.Cluster) (e error) { res, e = c.PageRank(f, damping, iters, scfg); return },
+			func() (e error) { res, e = shard.PageRank(f, damping, iters, scfg); return })
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		s.queries.Add(1)
-		s.writeQuery(w, r, map[string]any{
+		out := map[string]any{
 			"iters":        iters,
 			"damping":      damping,
 			"engine":       eng,
@@ -1028,7 +1141,11 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 			"top":          topRanked(res.Ranks, top),
 			"sharded":      s.shardSummary(r, scfg, res.Result),
 			"wall_time_ns": time.Since(t0).Nanoseconds(),
-		})
+		}
+		if cl != nil {
+			out["cluster"] = cl
+		}
+		s.writeQuery(w, r, out)
 		return
 	case engGBLAS:
 		t0 := time.Now()
@@ -1160,9 +1277,12 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	}
 	var dists []uint64
 	switch eng {
-	case engShard:
+	case engShard, engCluster:
 		t0 := time.Now()
-		res, err := shard.SSSP(wg, src, delta, scfg)
+		var res shard.SSSPResult
+		cl, err := s.runSharded(r, eng,
+			func(c *shard.Cluster) (e error) { res, e = c.SSSP(wg, src, delta, scfg); return },
+			func() (e error) { res, e = shard.SSSP(wg, src, delta, scfg); return })
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
@@ -1172,6 +1292,9 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		out["delta"] = res.Delta
 		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+		if cl != nil {
+			out["cluster"] = cl
+		}
 	case engGBLAS:
 		if r.URL.Query().Get("delta") != "" {
 			s.fail(w, http.StatusBadRequest, "delta only applies to the sharded delta-stepping SSSP")
@@ -1248,7 +1371,10 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 	var labels []int32
 	if shards > 1 {
 		t0 := time.Now()
-		res, err := shard.MST(wg, scfg)
+		var res shard.MSTResult
+		cl, err := s.runSharded(r, eng,
+			func(c *shard.Cluster) (e error) { res, e = c.MST(wg, scfg); return },
+			func() (e error) { res, e = shard.MST(wg, scfg); return })
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
@@ -1259,6 +1385,9 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		out["rounds"] = res.Rounds
 		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+		if cl != nil {
+			out["cluster"] = cl
+		}
 	} else {
 		b := algo.NewBoruvka(wg)
 		m := s.machine(b.MemWords(), b.Handlers(nil))
@@ -1320,7 +1449,10 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 	var colors []int32
 	if shards > 1 {
 		t0 := time.Now()
-		res, err := shard.Coloring(f, seed, scfg)
+		var res shard.ColoringResult
+		cl, err := s.runSharded(r, eng,
+			func(c *shard.Cluster) (e error) { res, e = c.Coloring(f, seed, scfg); return },
+			func() (e error) { res, e = shard.Coloring(f, seed, scfg); return })
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
@@ -1331,6 +1463,9 @@ func (s *Server) handleColoring(w http.ResponseWriter, r *http.Request) {
 		out["seed"] = seed
 		out["sharded"] = s.shardSummary(r, scfg, res.Result)
 		out["wall_time_ns"] = time.Since(t0).Nanoseconds()
+		if cl != nil {
+			out["cluster"] = cl
+		}
 	} else {
 		if f.N == 0 {
 			out["colors"] = 0
@@ -1361,6 +1496,8 @@ type statsResponse struct {
 	Queries      uint64            `json:"queries"`
 	Mutations    uint64            `json:"mutation_batches"`
 	BadRequests  uint64            `json:"bad_requests"`
+	Throttled    uint64            `json:"throttled"`
+	ClusterFalls uint64            `json:"cluster_fallbacks"`
 	NotModified  uint64            `json:"etag_304"`
 	Cache        *CacheStats       `json:"cache,omitempty"`
 	Graph        dyn.CumStats      `json:"graph"`
@@ -1397,6 +1534,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries:      s.queries.Load(),
 		Mutations:    s.mutations.Load(),
 		BadRequests:  s.rejected.Load(),
+		Throttled:    s.throttled.Load(),
+		ClusterFalls: s.fallbacks.Load(),
 		NotModified:  s.notModified.Load(),
 		Graph:        gs,
 		Freeze:       s.g.FreezeStats(),

@@ -17,9 +17,10 @@ type span struct {
 	Query    string
 	Start    time.Time
 
-	Epoch   uint64
-	Outcome string // computed | hit | collapsed | 304 | bypass
-	Engine  string // effective query engine (query endpoints only)
+	Epoch    uint64
+	Outcome  string // computed | hit | collapsed | 304 | bypass
+	Engine   string // effective query engine (query endpoints only)
+	Fallback string // why a cluster query degraded to in-process (empty otherwise)
 
 	FreezeNS  int64
 	ComputeNS int64
@@ -46,6 +47,9 @@ func (sp *span) traceView() map[string]any {
 	}
 	if sp.Engine != "" {
 		v["engine"] = sp.Engine
+	}
+	if sp.Fallback != "" {
+		v["fallback"] = sp.Fallback
 	}
 	if sp.Shards > 0 {
 		v["shards"] = sp.Shards

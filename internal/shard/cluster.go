@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"aamgo/internal/graph"
@@ -20,6 +21,23 @@ import (
 // in-process engine; the coordinator returns them, the workers discard
 // theirs.
 //
+// Since PR 10 the session survives worker failure (DESIGN.md §12):
+//
+//   - Failure detection: the coordinator heartbeats quiet links (ftPing /
+//     ftPong) and evicts ranks whose links go silent past the liveness
+//     deadline; collective timeouts catch mid-job deaths sooner.
+//   - Eviction and rejoin: an evicted rank's slot stays open — the same
+//     or a replacement worker re-handshakes into it (jobs are stateless
+//     SPMD over a shipped graph, so a fresh ftJob fully re-initializes
+//     state; nothing needs to be recovered from the dead process).
+//   - Job retry: Cluster.run retries a failed job with jittered backoff
+//     over the surviving/rejoined ranks, shrinking the attempt's rank
+//     set when no replacement arrives within the grace window. Before a
+//     retry, the in-flight attempt is aborted on survivors (ftAbort) and
+//     acknowledged, so no frame of a dead attempt can leak into the next.
+//   - Only a fingerprint desync still poisons the cluster: ranks running
+//     divergent code would fail identically on every retry.
+//
 // Coordinator:
 //
 //	c, _ := shard.NewCluster("127.0.0.1:0", 2)
@@ -29,7 +47,7 @@ import (
 //	c.Close()
 //
 // Worker: shard.JoinCluster(addr) serves jobs until the coordinator says
-// bye (cmd/aam-worker wraps exactly this).
+// bye (cmd/aam-worker wraps exactly this, with -rejoin looping it).
 
 // handshakeTimeout bounds Accept's wait for each worker and the
 // hello/welcome exchange.
@@ -46,6 +64,9 @@ const (
 	joinBackoffBase  = 50 * time.Millisecond
 	joinBackoffCap   = 2 * time.Second
 )
+
+// retryBackoffCap bounds the doubling job-retry backoff.
+const retryBackoffCap = 2 * time.Second
 
 // dialCoordinator dials addr with bounded, jittered exponential backoff.
 // Jitter (uniform over the upper half of each window) keeps a fleet of
@@ -71,11 +92,14 @@ func dialCoordinator(addr string, attempts int) (net.Conn, error) {
 
 // jobSpec is one algorithm invocation shipped to every worker.
 type jobSpec struct {
-	Name   string
-	Words  int // reserved (state width is the runner's business)
-	Params []uint64
-	Cfg    Config
-	G      *graph.Graph
+	Nonce    uint64 // attempt id, strictly increasing per cluster
+	JobRank  int    // recipient's rank within this attempt's dense set
+	JobRanks int    // attempt rank-set size (≤ cluster size)
+	Name     string
+	Words    int // reserved (state width is the runner's business)
+	Params   []uint64
+	Cfg      Config
+	G        *graph.Graph
 }
 
 // jobRunners maps job names to SPMD entry points; every rank — the
@@ -109,19 +133,78 @@ var jobRunners = map[string]func(g *graph.Graph, params []uint64, cfg Config) er
 	},
 }
 
-// Cluster is the coordinator's handle: rank 0 of a coordinator + N
-// workers machine. Not safe for concurrent job submission; runs are
-// serialized by the protocol anyway.
-type Cluster struct {
-	node *node
-	ln   net.Listener
-	err  error // sticky protocol failure; poisons subsequent runs
+// ClusterOptions tunes the coordinator's failure handling. The zero
+// value gives production defaults.
+type ClusterOptions struct {
+	// Net carries the session-level clocks: HeartbeatEvery and Liveness
+	// drive the heartbeat loop, CollTimeout bounds the abort-ack wait.
+	// Zero fields take the Config defaults (withDefaults).
+	Net Config
+	// JobRetries is how many times a failed job is retried over the
+	// surviving ranks (0 = default of 2; negative = no retries).
+	JobRetries int
+	// RetryBackoff is the base of the jittered, doubling backoff between
+	// attempts (default 100ms, capped at 2s).
+	RetryBackoff time.Duration
+	// RejoinGrace is how long a retry waits for evicted ranks to be
+	// replaced before shrinking the attempt's rank set (default 2s).
+	RejoinGrace time.Duration
+	// Chaos, when non-nil, injects deterministic frame-level faults on
+	// every worker link (tests only; see chaos.go).
+	Chaos *ChaosPlan
+	// Logf, when non-nil, receives eviction/rejoin/retry log lines.
+	Logf func(format string, args ...any)
 }
 
-// NewCluster listens on addr for workers peers to join. Call Accept to
-// wait for all of them; Addr gives the bound address (useful with
-// ":0").
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	o.Net = o.Net.withDefaults()
+	if o.JobRetries == 0 {
+		o.JobRetries = 2
+	} else if o.JobRetries < 0 {
+		o.JobRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.RejoinGrace <= 0 {
+		o.RejoinGrace = 2 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Cluster is the coordinator's handle: rank 0 of a coordinator + N
+// workers machine. Job submission is serialized (runMu); membership
+// changes (evictions, rejoins) happen concurrently under mu.
+type Cluster struct {
+	opts     ClusterOptions
+	ln       net.Listener
+	node     *node
+	maxRanks int
+
+	mu      sync.Mutex
+	peers   []*link // session rank → live link (nil = vacant slot)
+	claimed []bool  // vacant slot currently mid-handshake
+	poison  error   // protocol desync; poisons subsequent runs
+	closed  bool
+
+	stopCh chan struct{} // closes on Close: stops accept/heartbeat loops
+
+	runMu sync.Mutex
+	nonce uint64
+}
+
+// NewCluster listens on addr for workers peers to join, with default
+// fault-tolerance options. Call Accept to wait for all of them; Addr
+// gives the bound address (useful with ":0").
 func NewCluster(addr string, workers int) (*Cluster, error) {
+	return NewClusterOpts(addr, workers, ClusterOptions{})
+}
+
+// NewClusterOpts is NewCluster with explicit failure-handling options.
+func NewClusterOpts(addr string, workers int, opts ClusterOptions) (*Cluster, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("shard: cluster needs >= 1 worker, got %d", workers)
 	}
@@ -130,87 +213,448 @@ func NewCluster(addr string, workers int) (*Cluster, error) {
 		return nil, err
 	}
 	return &Cluster{
-		node: &node{rank: 0, nranks: workers + 1, links: make([]*link, workers+1)},
-		ln:   ln,
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		node:     newNode(0, workers+1, nil),
+		maxRanks: workers + 1,
+		peers:    make([]*link, workers+1),
+		claimed:  make([]bool, workers+1),
+		stopCh:   make(chan struct{}),
 	}, nil
 }
 
 // Addr returns the coordinator's listen address.
 func (c *Cluster) Addr() string { return c.ln.Addr().String() }
 
-// Accept waits for every worker to join and completes the
-// hello/welcome handshake, assigning ranks in connection order.
+// logf reports membership and retry events.
+func (c *Cluster) logf(format string, args ...any) { c.opts.Logf(format, args...) }
+
+// Accept waits for every worker to join and completes the hello/welcome
+// handshake, assigning ranks in connection order; it then starts the
+// background accept loop (rejoins) and the heartbeat loop.
 func (c *Cluster) Accept() error {
-	for r := 1; r < c.node.nranks; r++ {
+	for r := 1; r < c.maxRanks; r++ {
 		if tl, ok := c.ln.(*net.TCPListener); ok {
 			tl.SetDeadline(time.Now().Add(handshakeTimeout))
 		}
 		conn, err := c.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("shard: waiting for worker %d/%d: %w", r, c.node.nranks-1, err)
+			return fmt.Errorf("shard: waiting for worker %d/%d: %w", r, c.maxRanks-1, err)
 		}
-		l := newLink(conn)
-		conn.SetDeadline(time.Now().Add(handshakeTimeout))
-		ft, _, err := readFrame(l.br)
-		if err != nil || ft != ftHello {
-			conn.Close()
-			return fmt.Errorf("shard: worker %d handshake: got frame %d, err %v", r, ft, err)
+		l, err := c.admit(conn, r)
+		if err != nil {
+			return err
 		}
-		var welcome [8]byte
-		putU32(welcome[0:4], uint32(r))
-		putU32(welcome[4:8], uint32(c.node.nranks))
-		if err := l.writeFrame(ftWelcome, welcome[:]); err != nil {
-			conn.Close()
-			return fmt.Errorf("shard: worker %d welcome: %w", r, err)
-		}
-		conn.SetDeadline(time.Time{})
-		c.node.links[r] = l
+		c.mu.Lock()
+		c.peers[r] = l
+		c.mu.Unlock()
 		go c.node.readLoop(l)
 	}
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	c.updateRankGauges()
+	go c.acceptLoop()
+	go c.heartbeatLoop()
 	return nil
+}
+
+// admit runs the hello/welcome handshake on one inbound connection that
+// will hold session rank r.
+func (c *Cluster) admit(conn net.Conn, r int) (*link, error) {
+	l := newLink(conn)
+	l.peer = r
+	if c.opts.Chaos != nil {
+		l.chaos = c.opts.Chaos.link(r)
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	ft, _, err := readFrame(l.br)
+	if err != nil || ft != ftHello {
+		conn.Close()
+		return nil, fmt.Errorf("shard: worker %d handshake: got frame %d, err %v", r, ft, err)
+	}
+	var welcome [8]byte
+	putU32(welcome[0:4], uint32(r))
+	putU32(welcome[4:8], uint32(c.maxRanks))
+	if err := l.writeFrame(ftWelcome, welcome[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("shard: worker %d welcome: %w", r, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return l, nil
+}
+
+// acceptLoop admits replacement workers into vacated ranks for the
+// cluster's whole life.
+func (c *Cluster) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		go c.handleJoin(conn)
+	}
+}
+
+// handleJoin re-handshakes one inbound connection into a vacated rank.
+func (c *Cluster) handleJoin(conn net.Conn) {
+	r := c.claimVacant()
+	if r < 0 {
+		l := newLink(conn)
+		l.writeFrame(ftError, []byte("shard: cluster full"))
+		conn.Close()
+		return
+	}
+	l, err := c.admit(conn, r)
+	if err != nil {
+		c.mu.Lock()
+		c.claimed[r] = false
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	c.peers[r] = l
+	c.claimed[r] = false
+	c.mu.Unlock()
+	metClusterRejoins.Inc()
+	c.updateRankGauges()
+	c.logf("shard: rank %d rejoined", r)
+	go c.node.readLoop(l)
+}
+
+// claimVacant reserves the lowest vacant session rank (-1 if none).
+func (c *Cluster) claimVacant() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return -1
+	}
+	for r := 1; r < c.maxRanks; r++ {
+		if c.peers[r] == nil && !c.claimed[r] {
+			c.claimed[r] = true
+			return r
+		}
+	}
+	return -1
+}
+
+// evict removes rank r from the membership and tears its link down. The
+// slot stays open for a rejoin. Idempotent per link: a second eviction
+// of an already-vacated rank is a no-op.
+func (c *Cluster) evict(r int, cause error) {
+	if r <= 0 || r >= c.maxRanks {
+		return
+	}
+	c.mu.Lock()
+	l := c.peers[r]
+	if l == nil {
+		c.mu.Unlock()
+		return
+	}
+	c.peers[r] = nil
+	c.mu.Unlock()
+	l.fail(cause)
+	metClusterEvictions.Inc()
+	c.updateRankGauges()
+	c.logf("shard: evicted rank %d: %v", r, cause)
+}
+
+// isLive reports whether l still holds its session rank (it may have
+// been evicted and even replaced since the attempt snapshotted it).
+func (c *Cluster) isLive(l *link) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return l.peer > 0 && l.peer < c.maxRanks && c.peers[l.peer] == l
+}
+
+// LiveWorkers returns how many worker ranks currently hold live links.
+func (c *Cluster) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := 0
+	for r := 1; r < c.maxRanks; r++ {
+		if c.peers[r] != nil {
+			live++
+		}
+	}
+	return live
+}
+
+// Err returns the poison error, if a protocol desync killed the cluster.
+func (c *Cluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.poison
+}
+
+func (c *Cluster) poisonWith(err error) {
+	c.mu.Lock()
+	if c.poison == nil {
+		c.poison = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cluster) updateRankGauges() {
+	live := c.LiveWorkers() + 1 // the coordinator counts itself
+	metClusterRanksLive.Set(int64(live))
+	metClusterRanksVacant.Set(int64(c.maxRanks - live))
+}
+
+// heartbeatLoop probes quiet worker links and evicts ranks whose links
+// stay silent past the liveness deadline. Any inbound frame proves
+// liveness; pings only flow when a link has been quiet for a full
+// heartbeat interval, so the fault-free hot path carries no extra
+// frames.
+func (c *Cluster) heartbeatLoop() {
+	hb := c.opts.Net.HeartbeatEvery
+	live := c.opts.Net.Liveness
+	step := hb / 2
+	if step < 5*time.Millisecond {
+		step = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(step)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			peers := make([]*link, len(c.peers))
+			copy(peers, c.peers)
+			c.mu.Unlock()
+			nowNs := now.UnixNano()
+			for r, l := range peers {
+				if r == 0 || l == nil {
+					continue
+				}
+				quiet := nowNs - l.lastRecv.Load()
+				if quiet >= live.Nanoseconds() {
+					c.evict(r, fmt.Errorf("shard: rank %d liveness expired (quiet for %v)", r, time.Duration(quiet)))
+					continue
+				}
+				if quiet >= hb.Nanoseconds() && nowNs-l.lastPing >= hb.Nanoseconds() {
+					l.lastPing = nowNs
+					var p [8]byte
+					putU64(p[:], uint64(nowNs))
+					if err := l.writeFrame(ftPing, p[:]); err != nil {
+						c.evict(r, fmt.Errorf("shard: ping rank %d: %w", r, err))
+					}
+				}
+			}
+		}
+	}
+}
+
+// participants snapshots the live worker links in session-rank order.
+func (c *Cluster) participants() []*link {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := make([]*link, 0, c.maxRanks-1)
+	for r := 1; r < c.maxRanks; r++ {
+		if c.peers[r] != nil {
+			parts = append(parts, c.peers[r])
+		}
+	}
+	return parts
+}
+
+// awaitCapacity waits up to grace for the live worker count to reach
+// want (rejoins land asynchronously), polling cheaply.
+func (c *Cluster) awaitCapacity(want int, grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for c.LiveWorkers() < want && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // run executes one job across the cluster: broadcast the spec, run fn
 // (the coordinator's typed driver closure) with a tcp transport wired
-// into the config, and unwind any protocol failure into an error. A
-// protocol failure poisons the cluster — ranks can no longer be assumed
-// aligned — while a plain algorithm error does not (it is deterministic
-// from the shared spec, so every rank computed the same one).
-func (c *Cluster) run(name string, params []uint64, cfg Config, g *graph.Graph, fn func(cfg Config) error) (err error) {
-	if c.err != nil {
-		return fmt.Errorf("shard: cluster poisoned by earlier failure: %w", c.err)
+// into the config, and unwind any protocol failure into an error.
+//
+// A failed attempt no longer poisons the cluster: the offending rank is
+// evicted, the attempt is aborted on the survivors, and the job retries
+// over the ranks that remain (rejoined replacements included) after a
+// jittered backoff. A plain algorithm error from fn is deterministic
+// from the shared spec — every rank computed the same one — so it
+// returns immediately and the cluster stays usable. Only a fingerprint
+// desync (ranks running divergent code) poisons the cluster.
+func (c *Cluster) run(name string, params []uint64, cfg Config, g *graph.Graph, fn func(cfg Config) error) error {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("shard: cluster poisoned by earlier failure: %w", err)
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("shard: cluster is closed")
 	}
 	cfg = cfg.withDefaults()
 	cfg.transport = nil // never ship a transport; each rank plugs its own
-	spec := jobSpec{Name: name, Params: params, Cfg: cfg, G: g}
+
+	maxAttempts := 1 + c.opts.JobRetries
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			metClusterRetries.Inc()
+			c.logf("shard: retrying job %q (attempt %d/%d): %v", name, attempt+1, maxAttempts, lastErr)
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > retryBackoffCap {
+				backoff = retryBackoffCap
+			}
+			c.awaitCapacity(c.maxRanks-1, c.opts.RejoinGrace)
+		}
+		err, retryable := c.runAttempt(name, params, cfg, g, fn)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("shard: job %q failed after %d attempts: %w", name, maxAttempts, lastErr)
+}
+
+// runAttempt runs one attempt of a job over the currently-live ranks.
+// retryable reports whether a failure was a wire fault (eviction-based
+// recovery is sound) as opposed to a deterministic algorithm error or a
+// desync (which also poisons).
+func (c *Cluster) runAttempt(name string, params []uint64, cfg Config, g *graph.Graph, fn func(cfg Config) error) (err error, retryable bool) {
+	parts := c.participants()
+	jobRanks := 1 + len(parts)
+	jobLinks := make([]*link, jobRanks)
+	for i, l := range parts {
+		jobLinks[i+1] = l
+	}
+	c.nonce++
+	nonce := c.nonce
+	spec := jobSpec{Nonce: nonce, JobRank: 0, JobRanks: jobRanks, Name: name, Params: params, Cfg: cfg, G: g}
 	payload, err := encodeJob(spec)
 	if err != nil {
-		return err
+		return err, false
 	}
+
+	n := c.node
+	n.clearAbort(0)
+	// Belt and suspenders: the abort-ack protocol guarantees these
+	// channels are quiet between attempts, but a frame that somehow
+	// survived (a worker evicted mid-ack) must not greet the new attempt.
+	for _, l := range jobLinks[1:] {
+		drainColl(l)
+		for {
+			select {
+			case <-l.abortNonces:
+				continue
+			default:
+			}
+			break
+		}
+	}
+	n.startJob(nonce, 0, jobRanks, shardOwners(cfg.Shards, jobRanks), jobLinks, cfg.CollTimeout)
+	watchdog := time.AfterFunc(cfg.JobTimeout, func() {
+		n.requestAbort(fmt.Errorf("%w: job %q exceeded JobTimeout %v", errAborted, name, cfg.JobTimeout))
+	})
+	failed := false
 	defer func() {
+		watchdog.Stop()
 		if r := recover(); r != nil {
 			nf, ok := r.(netFailure)
 			if !ok {
 				panic(r)
 			}
-			// Protocol failure: the ranks can no longer be assumed
-			// aligned — poison the cluster. (A plain algorithm error from
-			// fn is deterministic from the shared spec; every rank
-			// computed the same one, so the cluster stays usable.)
+			failed = true
 			err = nf.err
-			c.err = err
+			retryable = !nf.desync
+			if nf.desync {
+				c.poisonWith(nf.err)
+			}
+			if nf.rank > 0 {
+				c.evict(nf.rank, nf.err)
+			}
 		}
-		c.node.detachExec()
+		if failed {
+			c.abortSurvivors(nonce, jobLinks, cfg.CollTimeout)
+		}
+		n.detachExec()
 	}()
-	c.node.startJob(shardOwners(cfg.Shards, c.node.nranks))
-	for r := 1; r < c.node.nranks; r++ {
-		if err := c.node.links[r].writeFrame(ftJob, payload); err != nil {
-			c.err = err
-			return err
+
+	for r := 1; r < jobRanks; r++ {
+		patchJobRank(payload, r)
+		l := jobLinks[r]
+		if err := l.writeFrame(ftJob, payload); err != nil {
+			panic(netFailure{err: fmt.Errorf("shard: job send to rank %d: %w", l.peer, err), rank: l.peer})
 		}
 	}
-	cfg.transport = &tcpTransport{node: c.node}
-	return fn(cfg)
+	runCfg := cfg
+	tcp := &tcpTransport{node: n}
+	if c.opts.Chaos != nil {
+		runCfg.transport = &chaosTransport{tcpTransport: tcp, plan: c.opts.Chaos}
+	} else {
+		runCfg.transport = tcp
+	}
+	return fn(runCfg), false
+}
+
+// abortSurvivors cancels the attempt named nonce on every rank of the
+// attempt that is still live: broadcast ftAbort, await each rank's
+// acknowledgement, then drain whatever stale collective frames the dead
+// attempt left buffered. The ack is FIFO-ordered behind every frame the
+// worker sent for the attempt, so post-drain the link is provably quiet
+// — no frame of this attempt can reach the next one. Ranks that fail to
+// acknowledge within the collective timeout are evicted.
+func (c *Cluster) abortSurvivors(nonce uint64, jobLinks []*link, ackTO time.Duration) {
+	c.node.detachExec() // disarm first: in-flight relays drop, not error
+	var p [8]byte
+	putU64(p[:], nonce)
+	for _, l := range jobLinks[1:] {
+		if !c.isLive(l) {
+			continue
+		}
+		if err := l.writeFrame(ftAbort, p[:]); err != nil {
+			c.evict(l.peer, fmt.Errorf("shard: abort send: %w", err))
+		}
+	}
+	for _, l := range jobLinks[1:] {
+		if !c.isLive(l) {
+			continue
+		}
+		if !awaitAbortAck(l, nonce, ackTO) {
+			c.evict(l.peer, fmt.Errorf("shard: abort ack timeout (nonce %d)", nonce))
+			continue
+		}
+		drainColl(l)
+	}
+}
+
+// awaitAbortAck waits for the worker on l to acknowledge abort nonce,
+// skipping stale acks of earlier attempts.
+func awaitAbortAck(l *link, nonce uint64, to time.Duration) bool {
+	timer := time.NewTimer(to)
+	defer timer.Stop()
+	for {
+		select {
+		case got := <-l.abortNonces:
+			if got >= nonce {
+				return true
+			}
+		case <-l.errCh:
+			return false
+		case <-timer.C:
+			return false
+		}
+	}
 }
 
 // BFS runs the distributed direction-optimizing BFS; results are
@@ -286,8 +730,18 @@ func (c *Cluster) Coloring(g *graph.Graph, seed uint64, cfg Config) (ColoringRes
 // Close releases the cluster: workers get a clean bye (their JoinCluster
 // returns nil) and every connection closes.
 func (c *Cluster) Close() error {
-	for r := 1; r < c.node.nranks; r++ {
-		if l := c.node.links[r]; l != nil {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	peers := make([]*link, len(c.peers))
+	copy(peers, c.peers)
+	c.mu.Unlock()
+	close(c.stopCh)
+	for r := 1; r < c.maxRanks; r++ {
+		if l := peers[r]; l != nil {
 			l.writeFrame(ftBye, nil)
 			l.conn.Close()
 		}
@@ -300,9 +754,16 @@ func (c *Cluster) Close() error {
 // runs the same SPMD driver the coordinator runs, with this process's
 // rank of the shard space. The dial itself retries with bounded backoff
 // (see dialCoordinator), so a coordinator that is still binding its
-// listener is tolerated; handshake and session failures do not retry.
+// listener is tolerated; handshake and session failures do not retry —
+// callers that want a rejoin loop wrap JoinCluster (aam-worker -rejoin).
 func JoinCluster(addr string) error {
-	conn, err := dialCoordinator(addr, joinDialAttempts)
+	return joinCluster(addr, joinDialAttempts)
+}
+
+// joinCluster is JoinCluster with an explicit dial-retry budget (tests
+// use a small one so teardown never waits out the full dial window).
+func joinCluster(addr string, dialAttempts int) error {
+	conn, err := dialCoordinator(addr, dialAttempts)
 	if err != nil {
 		return err
 	}
@@ -324,15 +785,16 @@ func JoinCluster(addr string) error {
 		conn.Close()
 		return fmt.Errorf("shard: coordinator assigned rank %d of %d", rank, nranks)
 	}
-	n := &node{rank: rank, nranks: nranks, links: []*link{l}}
+	n := newNode(rank, nranks, []*link{l})
 	go n.readLoop(l)
 	return n.serveJobs(l)
 }
 
-// serveJobs is the worker's main loop: run jobs as they arrive. A job's
-// algorithm error is deterministic from the spec — the coordinator
-// computed the same one — so the worker keeps serving; protocol failures
-// end the session.
+// serveJobs is the worker's main loop: run jobs as they arrive and
+// acknowledge aborts. A job's algorithm error is deterministic from the
+// spec — the coordinator computed the same one — so the worker keeps
+// serving; an abort cancels the attempt but preserves the session;
+// protocol failures end the session (a rejoin loop re-handshakes).
 func (n *node) serveJobs(l *link) error {
 	for {
 		select {
@@ -342,6 +804,9 @@ func (n *node) serveJobs(l *link) error {
 				l.conn.Close()
 				return err
 			}
+			n.ackAborts(l)
+		case nonce := <-l.abortNonces:
+			n.finishAbort(l, nonce)
 		case <-l.byeCh:
 			return nil
 		case err := <-l.errCh:
@@ -350,30 +815,66 @@ func (n *node) serveJobs(l *link) error {
 	}
 }
 
-// runJob decodes and executes one job on this rank.
+// ackAborts drains pending abort requests after a job unwound.
+func (n *node) ackAborts(l *link) {
+	for {
+		select {
+		case nonce := <-l.abortNonces:
+			n.finishAbort(l, nonce)
+		default:
+			return
+		}
+	}
+}
+
+// finishAbort completes one abort on the worker side: the attempt has
+// unwound (or never ran), so drain its stale collective frames, clear
+// the abort latch and acknowledge. The coordinator sends nothing between
+// its ftAbort and our ack, so the drain leaves the link provably quiet.
+func (n *node) finishAbort(l *link, nonce uint64) {
+	drainColl(l)
+	n.clearAbort(nonce)
+	var p [8]byte
+	putU64(p[:], nonce)
+	l.writeFrame(ftAbort, p[:]) // on error the read loop fails the link
+}
+
+// runJob decodes and executes one job attempt on this rank.
 func (n *node) runJob(payload []byte) (err error, fatal bool) {
 	spec, err := decodeJob(payload)
 	if err != nil {
 		return err, true
 	}
+	if n.jobFence(spec.Nonce) {
+		// A stale attempt: either the coordinator aborted it (possibly
+		// before we even started it) and has moved on, or the frame is a
+		// duplicate of a job we already ran.
+		return nil, false
+	}
 	runner := jobRunners[spec.Name]
 	if runner == nil {
 		return fmt.Errorf("shard: unknown job %q", spec.Name), true
 	}
+	if spec.JobRank < 1 || spec.JobRanks < 2 || spec.JobRank >= spec.JobRanks || spec.JobRanks > n.nranks {
+		return fmt.Errorf("shard: job places this rank at %d of %d", spec.JobRank, spec.JobRanks), true
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			fatal = true
 			if nf, ok := r.(netFailure); ok {
 				err = nf.err
+				// A deliberate abort preserves the session: the attempt is
+				// dead cluster-wide and the coordinator awaits our ack.
+				fatal = !nf.abort
 			} else {
 				err = fmt.Errorf("shard: job %q panicked: %v", spec.Name, r)
+				fatal = true
 			}
 		}
 		n.detachExec()
 	}()
 	cfg := spec.Cfg // already normalized by the coordinator's run()
 	cfg.transport = &tcpTransport{node: n}
-	n.startJob(shardOwners(cfg.Shards, n.nranks))
+	n.startJob(spec.Nonce, spec.JobRank, spec.JobRanks, shardOwners(cfg.Shards, spec.JobRanks), nil, cfg.CollTimeout)
 	return runner(spec.G, spec.Params, cfg), false
 }
 

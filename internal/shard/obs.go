@@ -33,4 +33,14 @@ var (
 	metNetBytesRecv    = obs.Default.Counter("aam_net_bytes_recv_total")
 	metNetCollectives  = obs.Default.Counter("aam_net_collectives_total")
 	metNetStateBytes   = obs.Default.Counter("aam_net_state_sync_bytes_total")
+
+	// Cluster-health series (coordinator only). The rank gauges are
+	// process-global: a process hosting several coordinators (tests)
+	// reports the most recent cluster's membership.
+	metClusterRanksLive    = obs.Default.Gauge(`aam_cluster_ranks{state="live"}`)
+	metClusterRanksVacant  = obs.Default.Gauge(`aam_cluster_ranks{state="vacant"}`)
+	metClusterEvictions    = obs.Default.Counter("aam_cluster_evictions_total")
+	metClusterRejoins      = obs.Default.Counter("aam_cluster_rejoins_total")
+	metClusterRetries      = obs.Default.Counter("aam_cluster_job_retries_total")
+	metClusterHeartbeatRTT = obs.Default.Histogram("aam_cluster_heartbeat_rtt_ns")
 )

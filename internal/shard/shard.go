@@ -177,6 +177,22 @@ type Config struct {
 	// ignored by the other algorithms.
 	Dir Direction
 
+	// CollTimeout bounds how long a rank waits inside one distributed
+	// collective (allreduce, barrier) before declaring the peer dead
+	// (default 2m). Ignored by the in-process transport.
+	CollTimeout time.Duration
+	// HeartbeatEvery is the coordinator's probe interval on quiet worker
+	// links (default 5s). Ignored by the in-process transport.
+	HeartbeatEvery time.Duration
+	// Liveness is how long a worker link may stay silent — no frames, no
+	// pong — before the coordinator evicts the rank (default 15s; must
+	// exceed HeartbeatEvery to allow at least one missed probe).
+	Liveness time.Duration
+	// JobTimeout bounds one distributed job attempt end to end (default
+	// 10m). It is the watchdog for hangs the collective timeout cannot
+	// see, e.g. a Drain that never quiesces because frames were lost.
+	JobTimeout time.Duration
+
 	// transport, when non-nil, carries cross-shard batches instead of the
 	// default in-process inbox delivery. Set by the cluster layer
 	// (cluster.go) on every peer process of a distributed run; external
@@ -196,6 +212,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HTMRetries < 1 {
 		c.HTMRetries = 8
+	}
+	if c.CollTimeout <= 0 {
+		c.CollTimeout = 2 * time.Minute
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 5 * time.Second
+	}
+	if c.Liveness <= 0 {
+		c.Liveness = 15 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
 	}
 	return c
 }

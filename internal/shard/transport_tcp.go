@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -39,13 +40,12 @@ import (
 // loudly instead of reducing garbage.
 //
 // Protocol failures surface as netFailure panics, recovered at the job
-// boundary (Cluster.run / node.serveJobs). A connection failure inside a
-// worker goroutine's flush is fatal to the process — the May-Fail
-// one-way protocol has no retransmit story, by design.
-
-// collTimeout bounds any single collective wait; a peer that dies
-// mid-job turns into an error instead of a hang.
-const collTimeout = 2 * time.Minute
+// boundary (Cluster.run / node.serveJobs). Since PR 10 a failure is not
+// fatal to the cluster: the coordinator evicts the failed rank, aborts
+// the attempt on the survivors (ftAbort) and retries the job over the
+// ranks that remain — see DESIGN.md §12 for the failure model and the
+// retry soundness argument. Only a fingerprint desync (netFailure.desync)
+// still poisons the cluster: retrying divergent code is unsound.
 
 // writeTimeout bounds any single frame write: a peer that stopped reading
 // (wedged process, dead NAT entry) eventually fills the TCP window and
@@ -58,14 +58,32 @@ const (
 	payloadTimeout = 60 * time.Second
 )
 
+// errAborted marks a job attempt cancelled on purpose — by an ftAbort
+// from the coordinator or the job watchdog — as opposed to one that died
+// of a wire fault. Aborts are session-preserving on workers.
+var errAborted = errors.New("shard: job attempt aborted")
+
 // netFailure wraps a transport-layer error for the panic/recover hop
 // from deep inside the executor to the job boundary.
-type netFailure struct{ err error }
+type netFailure struct {
+	err error
+	// rank is the session rank to blame, when the failure is attributable
+	// to one peer link (-1 otherwise). The coordinator evicts it.
+	rank int
+	// desync marks a protocol desynchronization (fingerprint/check
+	// mismatch): retrying divergent code is unsound, so this — and only
+	// this — still poisons the cluster.
+	desync bool
+	// abort marks a deliberate cancellation (ftAbort, watchdog): the
+	// attempt is dead but the session is healthy.
+	abort bool
+}
 
 // tcpTransport adapts one node (process-wide cluster membership) to one
-// executor run. A fresh instance is made per job: the collective ordinal
-// and fingerprint restart with it, keeping every rank's check sequence
-// aligned.
+// executor run. A fresh instance is made per job attempt: the collective
+// ordinal and fingerprint restart with it, keeping every rank's check
+// sequence aligned; the fingerprint folds in the attempt nonce so frames
+// of different attempts can never verify against each other.
 type tcpTransport struct {
 	node *node
 	ex   *Executor
@@ -74,7 +92,7 @@ type tcpTransport struct {
 }
 
 func (t *tcpTransport) Name() string          { return "tcp" }
-func (t *tcpTransport) endpoints() (int, int) { return t.node.rank, t.node.nranks }
+func (t *tcpTransport) endpoints() (int, int) { return t.node.jobRank, t.node.jobRanks }
 func (t *tcpTransport) pending() int          { return localPending(t.ex) }
 
 func (t *tcpTransport) attach(ex *Executor) {
@@ -84,12 +102,16 @@ func (t *tcpTransport) attach(ex *Executor) {
 
 // nextCheck returns the check word for the next collective. The
 // fingerprint folds in everything the ranks must agree on — op registry,
-// config shape, state width, graph size — and is computed lazily so it
-// sees the full op registry (operators register after New, before the
-// first Parallel).
+// config shape, state width, graph size, attempt nonce — and is computed
+// lazily so it sees the full op registry (operators register after New,
+// before the first Parallel).
 func (t *tcpTransport) nextCheck() uint64 {
+	t.node.checkAbort()
 	if t.fp == 0 {
-		t.fp = execFingerprint(t.ex)
+		t.fp = execFingerprint(t.ex) ^ (t.node.jobNonce * 0x9E3779B97F4A7C15)
+		if t.fp == 0 {
+			t.fp = 1 // keep 0 as the "not yet computed" sentinel
+		}
 	}
 	t.ord++
 	return t.fp ^ t.ord
@@ -125,9 +147,16 @@ func execFingerprint(ex *Executor) uint64 {
 // otherwise. The batch buffer is recycled immediately after encoding —
 // the wire carries a copy — so the sender's buffer circulation is
 // unchanged.
+//
+// A send failure does not panic: deliver runs on Parallel worker
+// goroutines where a panic would be unrecovered and kill the process. It
+// fails the link instead; the loss is observed at the next collective
+// (dead link) or by the drain quiescence counters (sent was incremented,
+// recv never will be) and surfaces at the job boundary, where the
+// coordinator evicts and retries.
 func (t *tcpTransport) deliver(w *Worker, dst int, batch []message) {
 	ex, n := t.ex, t.node
-	if ex.shardRank[dst] == n.rank {
+	if ex.shardRank[dst] == n.jobRank {
 		s := ex.shards[dst]
 		s.inbox.mu.Lock()
 		s.inbox.batches = append(s.inbox.batches, batch)
@@ -135,15 +164,16 @@ func (t *tcpTransport) deliver(w *Worker, dst int, batch []message) {
 		return
 	}
 	w.wire = appendBatchPayload(w.wire[:0], dst, batch)
-	if err := n.routeLink(ex.shardRank[dst]).writeFrame(ftBatch, w.wire); err != nil {
-		panic(netFailure{fmt.Errorf("shard: batch send to shard %d: %w", dst, err)})
-	}
 	n.sentWire.Add(1)
 	wireBytes := uint64(frameHdrLen + len(w.wire))
 	w.stats.WireBatchesSent++
 	w.stats.WireBytesSent += wireBytes
 	metWireBatchesSent.Inc()
 	metWireBatchBytes.Add(wireBytes)
+	l := n.routeLink(ex.shardRank[dst])
+	if err := l.writeFrame(ftBatch, w.wire); err != nil {
+		l.fail(fmt.Errorf("shard: batch send to shard %d: %w", dst, err))
+	}
 	w.putBuf(batch)
 }
 
@@ -151,10 +181,10 @@ func (t *tcpTransport) allreduce(op redOp, vals []uint64) {
 	n := t.node
 	check := t.nextCheck()
 	metNetCollectives.Inc()
-	if n.rank == 0 {
-		n.coordReduce(uint8(op), check, vals)
+	if n.jobRank == 0 {
+		t.coordReduce(uint8(op), check, vals)
 	} else {
-		n.workerReduce(uint8(op), check, vals)
+		t.workerReduce(uint8(op), check, vals)
 	}
 }
 
@@ -180,62 +210,65 @@ func (t *tcpTransport) barrier() {
 	metNetCollectives.Inc()
 	regionBytes := 8 * ex.words * ex.Part.MaxLocal()
 	var full []byte
-	if n.rank == 0 {
+	if n.jobRank == 0 {
 		full = make([]byte, regionBytes*ex.cfg.Shards)
 		for id, s := range ex.shards {
 			if ex.shardRank[id] == 0 {
 				encodeState(full[id*regionBytes:(id+1)*regionBytes], s.state)
 			}
 		}
-		for r := 1; r < n.nranks; r++ {
-			kind, c, _, body, err := decodeCollPayload(awaitColl(n.links[r]))
+		for r := 1; r < n.jobRanks; r++ {
+			l := n.jobLinks[r]
+			kind, c, _, body, err := decodeCollPayload(n.awaitColl(l))
 			if err != nil {
-				panic(netFailure{err})
+				panic(netFailure{err: err, rank: l.peer})
 			}
-			verifyColl(kind, collState, c, check)
+			t.verifyColl(l, kind, collState, c, check)
 			off := 0
 			for id := range ex.shards {
 				if ex.shardRank[id] != r {
 					continue
 				}
 				if off+regionBytes > len(body) {
-					panic(netFailure{fmt.Errorf("shard: rank %d state blob short at shard %d", r, id)})
+					panic(netFailure{err: fmt.Errorf("shard: rank %d state blob short at shard %d", r, id), rank: l.peer})
 				}
 				copy(full[id*regionBytes:(id+1)*regionBytes], body[off:off+regionBytes])
 				off += regionBytes
 			}
 			if off != len(body) {
-				panic(netFailure{fmt.Errorf("shard: rank %d state blob has %d stray bytes", r, len(body)-off)})
+				panic(netFailure{err: fmt.Errorf("shard: rank %d state blob has %d stray bytes", r, len(body)-off), rank: l.peer})
 			}
 		}
 		res := appendStateCollPayload(nil, check, full)
-		for r := 1; r < n.nranks; r++ {
-			if err := n.links[r].writeFrame(ftCollRes, res); err != nil {
-				panic(netFailure{err})
+		for r := 1; r < n.jobRanks; r++ {
+			l := n.jobLinks[r]
+			if err := l.writeFrame(ftCollRes, res); err != nil {
+				panic(netFailure{err: err, rank: l.peer})
 			}
 		}
 	} else {
-		body := make([]byte, 0, regionBytes*ex.cfg.Shards/n.nranks+regionBytes)
+		body := make([]byte, 0, regionBytes*ex.cfg.Shards/n.jobRanks+regionBytes)
 		for id, s := range ex.shards {
-			if ex.shardRank[id] == n.rank {
+			if ex.shardRank[id] == n.jobRank {
 				body = appendEncodedState(body, s.state)
 			}
 		}
-		if err := n.links[0].writeFrame(ftColl, appendStateCollPayload(nil, check, body)); err != nil {
-			panic(netFailure{err})
+		l := n.links[0]
+		if err := l.writeFrame(ftColl, appendStateCollPayload(nil, check, body)); err != nil {
+			panic(netFailure{err: err, rank: -1})
 		}
-		kind, c, _, res, err := decodeCollPayload(awaitColl(n.links[0]))
+		kind, c, _, res, err := decodeCollPayload(n.awaitColl(l))
 		if err != nil {
-			panic(netFailure{err})
+			panic(netFailure{err: err, rank: -1})
 		}
-		verifyColl(kind, collState, c, check)
+		t.verifyColl(l, kind, collState, c, check)
 		if len(res) != regionBytes*ex.cfg.Shards {
-			panic(netFailure{fmt.Errorf("shard: state image is %d bytes, want %d", len(res), regionBytes*ex.cfg.Shards)})
+			panic(netFailure{err: fmt.Errorf("shard: state image is %d bytes, want %d", len(res), regionBytes*ex.cfg.Shards), rank: -1})
 		}
 		full = res
 	}
 	for id, s := range ex.shards {
-		if ex.shardRank[id] != n.rank {
+		if ex.shardRank[id] != n.jobRank {
 			decodeState(s.state, full[id*regionBytes:(id+1)*regionBytes])
 		}
 	}
@@ -284,184 +317,80 @@ func getU64(b []byte) uint64 {
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
-// verifyColl asserts a collective frame's kind and check word.
-func verifyColl(kind, wantKind uint8, check, want uint64) {
+// verifyColl asserts a collective frame's kind and check word, and
+// classifies the failure. A check word that decodes to an earlier
+// ordinal of this same attempt is a stale or duplicated frame — a wire
+// fault, attributable to the link, safe to retry after eviction. Any
+// other mismatch means the ranks genuinely computed different
+// fingerprints (diverged op registries, configs, graphs): retrying
+// divergent code is unsound, so that stays fatal to the cluster.
+func (t *tcpTransport) verifyColl(l *link, kind, wantKind uint8, check, want uint64) {
+	if kind == wantKind && check == want {
+		return
+	}
+	if kind == wantKind && t.fp != 0 {
+		if gotOrd := check ^ t.fp; gotOrd < t.ord+(1<<20) {
+			panic(netFailure{
+				err:  fmt.Errorf("shard: stale collective (ordinal %d at ordinal %d)", gotOrd, t.ord),
+				rank: l.peer,
+			})
+		}
+	}
 	if kind != wantKind {
-		panic(netFailure{fmt.Errorf("shard: collective kind %d, want %d (ranks desynchronized)", kind, wantKind)})
+		panic(netFailure{
+			err:    fmt.Errorf("shard: collective kind %d, want %d (ranks desynchronized)", kind, wantKind),
+			rank:   l.peer,
+			desync: true,
+		})
 	}
-	if check != want {
-		panic(netFailure{fmt.Errorf("shard: collective check %#x, want %#x (op registries or configs diverged)", check, want)})
-	}
+	panic(netFailure{
+		err:    fmt.Errorf("shard: collective check %#x, want %#x (op registries or configs diverged)", check, want),
+		rank:   l.peer,
+		desync: true,
+	})
 }
 
-// node is one process's membership in a cluster: its rank, its links,
-// and the per-job routing/quiescence state. It outlives jobs; a fresh
-// tcpTransport binds it to each executor.
-type node struct {
-	rank   int
-	nranks int
-	// links, indexed by rank. On the coordinator every worker rank has a
-	// link (links[0] is nil); on a worker only links[0] (the coordinator)
-	// is set — the star topology.
-	links []*link
-
-	mu     sync.Mutex
-	ex     *Executor // current job's executor (nil between jobs)
-	owners []int     // current job's shard→rank map (nil between jobs)
-	early  [][]byte  // batches that arrived before attachExec
-
-	sentWire atomic.Uint64 // wire batches sent at this origin (this job)
-	recvWire atomic.Uint64 // wire batches enqueued at this destination
-}
-
-// routeLink returns the link that reaches rank r under the star
-// topology.
-func (n *node) routeLink(r int) *link {
-	if n.rank == 0 {
-		return n.links[r]
-	}
-	return n.links[0]
-}
-
-// startJob arms routing and quiescence accounting for one job. On the
-// coordinator it must run before the job broadcast: relayable frames can
-// arrive the moment a worker has the job. Early-held frames are kept —
-// on a worker they belong to this very job (quiescence guarantees the
-// previous job left nothing in flight, and detachExec cleared the rest).
-func (n *node) startJob(owners []int) {
-	n.mu.Lock()
-	n.owners = owners
-	n.mu.Unlock()
-	n.sentWire.Store(0)
-	n.recvWire.Store(0)
-}
-
-// attachExec binds the current job's executor and flushes any batches
-// that beat it through the handshake (a fast peer can start spawning
-// while this rank is still decoding the graph).
-func (n *node) attachExec(ex *Executor) {
-	n.mu.Lock()
-	n.ex = ex
-	early := n.early
-	n.early = nil
-	n.mu.Unlock()
-	for _, p := range early {
-		if err := n.deliverLocal(ex, p); err != nil {
-			panic(netFailure{err})
-		}
-	}
-}
-
-// detachExec ends the job; by quiescence no batch frame is in flight.
-func (n *node) detachExec() {
-	n.mu.Lock()
-	n.ex = nil
-	n.owners = nil
-	n.early = nil
-	n.mu.Unlock()
-}
-
-// routeBatch handles one ftBatch frame off the wire: relay if the owner
-// is another rank (coordinator only), enqueue locally otherwise.
-func (n *node) routeBatch(payload []byte) error {
-	dst, err := batchDst(payload)
-	if err != nil {
-		return err
-	}
-	n.mu.Lock()
-	owners := n.owners
-	ex := n.ex
-	if owners == nil {
-		if n.rank != 0 {
-			// The job frame precedes its batches on the coordinator link
-			// (FIFO), but the session layer may still be decoding the job
-			// when a fast peer's first flushes arrive: hold the frames,
-			// attachExec drains them. The coordinator never takes this
-			// path — its startJob runs before the job broadcast.
-			n.early = append(n.early, payload)
-			n.mu.Unlock()
-			return nil
-		}
-		n.mu.Unlock()
-		return fmt.Errorf("shard: batch for shard %d with no job active", dst)
-	}
-	if dst >= len(owners) {
-		n.mu.Unlock()
-		return fmt.Errorf("shard: batch for shard %d of %d", dst, len(owners))
-	}
-	owner := owners[dst]
-	if owner == n.rank && ex == nil {
-		// Owned but the executor isn't up yet: hold the frame.
-		n.early = append(n.early, payload)
-		n.mu.Unlock()
-		return nil
-	}
-	n.mu.Unlock()
-	if owner != n.rank {
-		if n.rank != 0 {
-			return fmt.Errorf("shard: worker rank %d asked to relay shard %d to rank %d", n.rank, dst, owner)
-		}
-		return n.links[owner].writeFrame(ftBatch, payload)
-	}
-	return n.deliverLocal(ex, payload)
-}
-
-// deliverLocal decodes a batch frame into the owner shard's inbox. The
-// enqueue happens before the recvWire increment — quiesced() relies on
-// that order (see the package comment).
-func (n *node) deliverLocal(ex *Executor, payload []byte) error {
-	dst, msgs, err := decodeBatchPayload(payload, ex.pool.get())
-	if err != nil {
-		return err
-	}
-	if ex.shardRank[dst] != n.rank {
-		return fmt.Errorf("shard: batch for shard %d delivered to rank %d", dst, n.rank)
-	}
-	s := ex.shards[dst]
-	s.inbox.mu.Lock()
-	s.inbox.batches = append(s.inbox.batches, msgs)
-	s.inbox.mu.Unlock()
-	n.recvWire.Add(1)
-	metWireBatchesRecv.Inc()
-	return nil
-}
-
-// coordReduce runs one collective as rank 0: collect every worker's
-// contribution, combine element-wise into vals, broadcast the result.
-func (n *node) coordReduce(kind uint8, check uint64, vals []uint64) {
-	for r := 1; r < n.nranks; r++ {
-		k, c, v, _, err := decodeCollPayload(awaitColl(n.links[r]))
+// coordReduce runs one collective as job rank 0: collect every
+// participant's contribution, combine element-wise into vals, broadcast
+// the result.
+func (t *tcpTransport) coordReduce(kind uint8, check uint64, vals []uint64) {
+	n := t.node
+	for r := 1; r < n.jobRanks; r++ {
+		l := n.jobLinks[r]
+		k, c, v, _, err := decodeCollPayload(n.awaitColl(l))
 		if err != nil {
-			panic(netFailure{err})
+			panic(netFailure{err: err, rank: l.peer})
 		}
-		verifyColl(k, kind, c, check)
+		t.verifyColl(l, k, kind, c, check)
 		if len(v) != len(vals) {
-			panic(netFailure{fmt.Errorf("shard: rank %d reduced %d values, want %d", r, len(v), len(vals))})
+			panic(netFailure{err: fmt.Errorf("shard: rank %d reduced %d values, want %d", r, len(v), len(vals)), rank: l.peer})
 		}
 		combine(redOp(kind), vals, v)
 	}
 	res := appendCollPayload(nil, kind, check, vals)
-	for r := 1; r < n.nranks; r++ {
-		if err := n.links[r].writeFrame(ftCollRes, res); err != nil {
-			panic(netFailure{err})
+	for r := 1; r < n.jobRanks; r++ {
+		l := n.jobLinks[r]
+		if err := l.writeFrame(ftCollRes, res); err != nil {
+			panic(netFailure{err: err, rank: l.peer})
 		}
 	}
 }
 
 // workerReduce runs one collective as a worker rank: contribute, then
 // take the coordinator's verdict.
-func (n *node) workerReduce(kind uint8, check uint64, vals []uint64) {
+func (t *tcpTransport) workerReduce(kind uint8, check uint64, vals []uint64) {
+	n := t.node
 	l := n.links[0]
 	if err := l.writeFrame(ftColl, appendCollPayload(nil, kind, check, vals)); err != nil {
-		panic(netFailure{err})
+		panic(netFailure{err: err, rank: -1})
 	}
-	k, c, v, _, err := decodeCollPayload(awaitColl(l))
+	k, c, v, _, err := decodeCollPayload(n.awaitColl(l))
 	if err != nil {
-		panic(netFailure{err})
+		panic(netFailure{err: err, rank: -1})
 	}
-	verifyColl(k, kind, c, check)
+	t.verifyColl(l, k, kind, c, check)
 	if len(v) != len(vals) {
-		panic(netFailure{fmt.Errorf("shard: collective result has %d values, want %d", len(v), len(vals))})
+		panic(netFailure{err: fmt.Errorf("shard: collective result has %d values, want %d", len(v), len(vals)), rank: -1})
 	}
 	copy(vals, v)
 }
@@ -486,42 +415,396 @@ func combine(op redOp, acc, v []uint64) {
 	}
 }
 
+// node is one process's membership in a cluster: its session rank, its
+// links, and the per-attempt routing/quiescence state. It outlives jobs;
+// a fresh tcpTransport binds it to each executor.
+type node struct {
+	// rank/nranks are the session identity: the slot this process holds
+	// in the cluster membership and the cluster's full size. They never
+	// change while the process is connected.
+	rank   int
+	nranks int
+	// links, indexed by session rank. On the coordinator every worker
+	// rank has a link (links[0] is nil); on a worker only links[0] (the
+	// coordinator) is set — the star topology.
+	links []*link
+
+	// Per-attempt identity. An attempt may run over fewer ranks than the
+	// session holds (evicted peers, no replacement): jobRank/jobRanks
+	// are this process's place in the attempt's dense rank set, and
+	// jobLinks (coordinator only) maps attempt rank → link. Written by
+	// startJob under mu (the read loop reads them through routeBatch);
+	// the driver side reads them without locks — it runs strictly after
+	// its own startJob call.
+	jobRank  int
+	jobRanks int
+	jobNonce uint64
+	jobLinks []*link
+	// collTimeout is the attempt's collective wait bound, shipped in the
+	// job config so all ranks share one failure-detection clock.
+	collTimeout time.Duration
+
+	mu     sync.Mutex
+	ex     *Executor // current job's executor (nil between jobs)
+	owners []int     // current job's shard→rank map (nil between jobs)
+	early  [][]byte  // batches that arrived before attachExec
+	// armed gates batch routing: set when a job attempt starts, cleared
+	// on abort/detach. Batch frames of a dead attempt that are still in
+	// flight land here disarmed and are dropped by design — the retry
+	// re-initializes all state, so they carry no information.
+	armed bool
+
+	// Abort state. requestAbort closes abortCh so every collective wait
+	// (and the next nextCheck) unblocks into a clean job-boundary panic;
+	// clearAbort re-arms it for the next attempt. abortReq fences stale
+	// job specs: runJob discards attempts whose nonce was already
+	// aborted. abortDone suppresses duplicate abort requests.
+	abortMu   sync.Mutex
+	aborted   bool
+	abortErr  error
+	abortCh   chan struct{}
+	abortReq  uint64
+	abortDone uint64
+	// lastJob is the highest job nonce this worker has started. Nonces
+	// are strictly increasing per cluster, so a spec at or below it is a
+	// duplicated frame and must be discarded — re-running a completed
+	// attempt solo would spray stale collective frames at the
+	// coordinator.
+	lastJob uint64
+
+	sentWire atomic.Uint64 // wire batches sent at this origin (this job)
+	recvWire atomic.Uint64 // wire batches enqueued at this destination
+}
+
+func newNode(rank, nranks int, links []*link) *node {
+	return &node{
+		rank:    rank,
+		nranks:  nranks,
+		links:   links,
+		abortCh: make(chan struct{}),
+	}
+}
+
+// routeLink returns the link that reaches attempt rank r under the star
+// topology.
+func (n *node) routeLink(r int) *link {
+	if n.jobRank == 0 {
+		return n.jobLinks[r]
+	}
+	return n.links[0]
+}
+
+// startJob arms routing and quiescence accounting for one job attempt.
+// On the coordinator it must run before the job broadcast: relayable
+// frames can arrive the moment a worker has the job. Early-held frames
+// are kept — on a worker they belong to this very attempt (quiescence
+// guarantees the previous job left nothing in flight; aborts and
+// detachExec cleared the rest).
+func (n *node) startJob(nonce uint64, jobRank, jobRanks int, owners []int, jobLinks []*link, collTO time.Duration) {
+	n.mu.Lock()
+	n.jobRank = jobRank
+	n.jobRanks = jobRanks
+	n.jobNonce = nonce
+	n.jobLinks = jobLinks
+	n.collTimeout = collTO
+	n.owners = owners
+	n.armed = true
+	n.mu.Unlock()
+	n.sentWire.Store(0)
+	n.recvWire.Store(0)
+}
+
+// arm opens batch routing before the attempt's owners are known: the
+// worker read loop calls it on ftJob receipt, so relayed batches of the
+// new attempt that beat runJob's startJob are early-buffered instead of
+// dropped. Stale-attempt frames cannot be confused in: the coordinator
+// only sends a new job after every survivor acknowledged the previous
+// attempt's abort, and the ack is FIFO-ordered behind the dead
+// attempt's last frame.
+func (n *node) arm() {
+	n.mu.Lock()
+	n.armed = true
+	n.mu.Unlock()
+}
+
+// attachExec binds the current job's executor and flushes any batches
+// that beat it through the handshake (a fast peer can start spawning
+// while this rank is still decoding the graph).
+func (n *node) attachExec(ex *Executor) {
+	n.mu.Lock()
+	n.ex = ex
+	early := n.early
+	n.early = nil
+	n.mu.Unlock()
+	for _, p := range early {
+		if err := n.deliverLocal(ex, n.jobRank, p); err != nil {
+			panic(netFailure{err: err, rank: -1})
+		}
+	}
+}
+
+// detachExec ends the job attempt and disarms batch routing; frames of
+// the attempt still in flight are dropped on arrival.
+func (n *node) detachExec() {
+	n.mu.Lock()
+	n.ex = nil
+	n.owners = nil
+	n.early = nil
+	n.armed = false
+	n.mu.Unlock()
+}
+
+// requestAbort cancels the in-flight attempt: every collective wait and
+// the next collective entry observe the closed channel and unwind to the
+// job boundary with netFailure.abort set.
+func (n *node) requestAbort(err error) {
+	n.abortMu.Lock()
+	if !n.aborted {
+		n.aborted = true
+		n.abortErr = err
+		close(n.abortCh)
+	}
+	n.abortMu.Unlock()
+}
+
+// noteAbort handles an ftAbort request from the coordinator: fence the
+// nonce so stale job specs are discarded, disarm batch routing, and
+// trigger the local abort. Returns false for duplicates of an abort that
+// was already acknowledged.
+func (n *node) noteAbort(nonce uint64) bool {
+	n.abortMu.Lock()
+	if nonce <= n.abortDone {
+		n.abortMu.Unlock()
+		return false
+	}
+	if nonce > n.abortReq {
+		n.abortReq = nonce
+	}
+	if !n.aborted {
+		n.aborted = true
+		n.abortErr = fmt.Errorf("%w (coordinator abort, nonce %d)", errAborted, nonce)
+		close(n.abortCh)
+	}
+	n.abortMu.Unlock()
+	n.mu.Lock()
+	n.armed = false
+	n.early = nil
+	n.mu.Unlock()
+	return true
+}
+
+// clearAbort re-arms the abort channel after the attempt named nonce has
+// been fully unwound (collectives drained, ack sent).
+func (n *node) clearAbort(nonce uint64) {
+	n.abortMu.Lock()
+	if n.aborted {
+		n.aborted = false
+		n.abortErr = nil
+		n.abortCh = make(chan struct{})
+	}
+	if nonce > n.abortDone {
+		n.abortDone = nonce
+	}
+	n.abortMu.Unlock()
+}
+
+// abortChan returns the channel closed by the in-flight abort, if any.
+func (n *node) abortChan() <-chan struct{} {
+	n.abortMu.Lock()
+	ch := n.abortCh
+	n.abortMu.Unlock()
+	return ch
+}
+
+// jobFence returns the highest job nonce that must not (re)start: the
+// maximum of the aborted and the already-started nonces. runJob
+// discards specs at or below it — they are duplicated frames or
+// attempts the coordinator has already given up on. The passing nonce
+// is recorded as started.
+func (n *node) jobFence(nonce uint64) (stale bool) {
+	n.abortMu.Lock()
+	defer n.abortMu.Unlock()
+	if nonce <= n.abortReq || nonce <= n.lastJob {
+		return true
+	}
+	n.lastJob = nonce
+	return false
+}
+
+// checkAbort panics to the job boundary if an abort is pending.
+func (n *node) checkAbort() {
+	n.abortMu.Lock()
+	aborted, err := n.aborted, n.abortErr
+	n.abortMu.Unlock()
+	if aborted {
+		if err == nil {
+			err = errAborted
+		}
+		panic(netFailure{err: err, rank: -1, abort: true})
+	}
+}
+
 // awaitColl blocks for the next collective frame on l, converting link
-// failure or timeout into a netFailure.
-func awaitColl(l *link) []byte {
+// failure, abort, or timeout into a netFailure.
+func (n *node) awaitColl(l *link) []byte {
+	to := n.collTimeout
+	if to <= 0 {
+		to = 2 * time.Minute
+	}
+	timer := time.NewTimer(to)
+	defer timer.Stop()
 	select {
 	case p := <-l.collCh:
 		return p
 	case err := <-l.errCh:
-		panic(netFailure{err})
-	case <-time.After(collTimeout):
-		panic(netFailure{fmt.Errorf("shard: collective timed out after %v", collTimeout)})
+		panic(netFailure{err: err, rank: l.peer})
+	case <-n.abortChan():
+		n.checkAbort()
+		panic(netFailure{err: errAborted, rank: -1, abort: true})
+	case <-timer.C:
+		panic(netFailure{err: fmt.Errorf("shard: collective timed out after %v", to), rank: l.peer})
 	}
+}
+
+// drainColl discards collective frames buffered on l. Called after an
+// abort acknowledgement: the ack is FIFO-ordered behind every frame of
+// the dead attempt, so whatever is buffered now is stale and the channel
+// is quiet until the next attempt.
+func drainColl(l *link) {
+	for {
+		select {
+		case <-l.collCh:
+		default:
+			return
+		}
+	}
+}
+
+// routeBatch handles one ftBatch frame off the wire: relay if the owner
+// is another rank (coordinator only), enqueue locally otherwise. Frames
+// arriving while no attempt is armed are stale by construction (their
+// attempt was aborted) and are dropped.
+func (n *node) routeBatch(payload []byte) error {
+	dst, err := batchDst(payload)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if !n.armed {
+		n.mu.Unlock()
+		return nil
+	}
+	owners := n.owners
+	ex := n.ex
+	jobRank := n.jobRank
+	jobLinks := n.jobLinks
+	if owners == nil {
+		if n.rank != 0 {
+			// The job frame precedes its batches on the coordinator link
+			// (FIFO), but the session layer may still be decoding the job
+			// when a fast peer's first flushes arrive: hold the frames,
+			// attachExec drains them. The coordinator never takes this
+			// path — its startJob sets owners before the job broadcast.
+			n.early = append(n.early, payload)
+			n.mu.Unlock()
+			return nil
+		}
+		n.mu.Unlock()
+		return fmt.Errorf("shard: batch for shard %d with no job active", dst)
+	}
+	if dst >= len(owners) {
+		n.mu.Unlock()
+		return fmt.Errorf("shard: batch for shard %d of %d", dst, len(owners))
+	}
+	owner := owners[dst]
+	if owner == jobRank && ex == nil {
+		// Owned but the executor isn't up yet: hold the frame.
+		n.early = append(n.early, payload)
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+	if owner != jobRank {
+		if jobRank != 0 {
+			return fmt.Errorf("shard: worker rank %d asked to relay shard %d to rank %d", jobRank, dst, owner)
+		}
+		// Relay failure is the TARGET's problem, not the source's: fail
+		// that link (the coordinator will evict the target rank) and keep
+		// reading from the healthy source.
+		tl := jobLinks[owner]
+		if err := tl.writeFrame(ftBatch, payload); err != nil {
+			tl.fail(fmt.Errorf("shard: relay to rank %d: %w", owner, err))
+		}
+		return nil
+	}
+	return n.deliverLocal(ex, jobRank, payload)
+}
+
+// deliverLocal decodes a batch frame into the owner shard's inbox. The
+// enqueue happens before the recvWire increment — quiesced() relies on
+// that order (see the package comment).
+func (n *node) deliverLocal(ex *Executor, jobRank int, payload []byte) error {
+	dst, msgs, err := decodeBatchPayload(payload, ex.pool.get())
+	if err != nil {
+		return err
+	}
+	if ex.shardRank[dst] != jobRank {
+		return fmt.Errorf("shard: batch for shard %d delivered to rank %d", dst, jobRank)
+	}
+	s := ex.shards[dst]
+	s.inbox.mu.Lock()
+	s.inbox.batches = append(s.inbox.batches, msgs)
+	s.inbox.mu.Unlock()
+	n.recvWire.Add(1)
+	metWireBatchesRecv.Inc()
+	return nil
 }
 
 // link is one framed connection endpoint. The reader goroutine
 // (node.readLoop) demuxes inbound frames: batches route immediately,
-// collective frames and jobs queue on channels for the session layer.
+// collective frames, jobs and abort nonces queue on channels for the
+// session layer.
 type link struct {
 	conn net.Conn
 	br   *bufio.Reader
 	wmu  sync.Mutex
+	// peer is the session rank on the far end (coordinator side; -1 on
+	// workers, whose single link always reaches the coordinator).
+	peer int
+	// chaos, when non-nil, intercepts writeFrame for deterministic fault
+	// injection (chaos.go, tests and the chaos transport only).
+	chaos *chaosLink
 
 	collCh chan []byte
 	jobCh  chan []byte
 	byeCh  chan struct{}
 	errCh  chan error
+	// abortNonces carries ftAbort nonces: abort requests on a worker's
+	// link, acknowledgements on the coordinator's. Bounded and lossy
+	// under pathological floods — a lost ack turns into an eviction,
+	// never a wedged read loop.
+	abortNonces chan uint64
+
+	// lastRecv is the unix-nano stamp of the last frame received; the
+	// heartbeat loop reads it to distinguish quiet from dead. lastPing
+	// (heartbeat loop only) spaces the probes.
+	lastRecv atomic.Int64
+	lastPing int64
 }
 
 func newLink(conn net.Conn) *link {
-	return &link{
-		conn:   conn,
-		br:     bufio.NewReaderSize(conn, 64<<10),
-		collCh: make(chan []byte, 4),
-		jobCh:  make(chan []byte, 1),
-		byeCh:  make(chan struct{}),
-		errCh:  make(chan error, 1),
+	l := &link{
+		conn:        conn,
+		br:          bufio.NewReaderSize(conn, 64<<10),
+		peer:        -1,
+		collCh:      make(chan []byte, 4),
+		jobCh:       make(chan []byte, 4),
+		byeCh:       make(chan struct{}),
+		errCh:       make(chan error, 1),
+		abortNonces: make(chan uint64, 16),
 	}
+	l.lastRecv.Store(time.Now().UnixNano())
+	return l
 }
 
 // writeFrame sends one frame; the write mutex keeps concurrently
@@ -531,9 +814,22 @@ func newLink(conn net.Conn) *link {
 func (l *link) writeFrame(ft frameType, payload []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
+	if l.chaos != nil {
+		return l.chaos.write(l, ft, payload)
+	}
+	return l.writeFrameLocked(ft, payload, false)
+}
+
+// writeFrameLocked is the raw frame write; the caller holds wmu. corrupt
+// flips the magic so the receiver rejects the frame at the header (chaos
+// injection only).
+func (l *link) writeFrameLocked(ft frameType, payload []byte, corrupt bool) error {
 	l.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	var hdr [frameHdrLen]byte
 	putFrameHeader(hdr[:], ft, len(payload))
+	if corrupt {
+		hdr[0] ^= 0xFF
+	}
 	if _, err := l.conn.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -559,7 +855,10 @@ func (l *link) fail(err error) {
 
 // readLoop demuxes inbound frames until the connection dies or says bye.
 // The header wait is deadline-free (links idle between jobs); the payload
-// phase is bounded by payloadTimeout.
+// phase is bounded by payloadTimeout. Control frames (ping/pong/abort)
+// are length-capped at the header (frameLenCap) and exact-checked here,
+// so a hostile peer can neither over-allocate nor wedge the loop with
+// them.
 func (n *node) readLoop(l *link) {
 	for {
 		ft, size, err := readFrameHeader(l.br)
@@ -574,6 +873,7 @@ func (n *node) readLoop(l *link) {
 			return
 		}
 		l.conn.SetReadDeadline(time.Time{})
+		l.lastRecv.Store(time.Now().UnixNano())
 		metNetFramesRecv.Inc()
 		metNetBytesRecv.Add(uint64(frameHdrLen + len(payload)))
 		switch ft {
@@ -585,7 +885,56 @@ func (n *node) readLoop(l *link) {
 		case ftColl, ftCollRes:
 			l.collCh <- payload
 		case ftJob:
-			l.jobCh <- payload
+			if n.rank != 0 {
+				// Arm routing now: relayed batches of this attempt may land
+				// before serveJobs gets to startJob (they early-buffer).
+				n.arm()
+			}
+			select {
+			case l.jobCh <- payload:
+			default:
+				// A full job queue means the peer is spraying attempts
+				// faster than they can be discarded: protocol violation.
+				l.fail(fmt.Errorf("shard: job queue overflow"))
+				return
+			}
+		case ftPing:
+			if len(payload) != 8 {
+				l.fail(fmt.Errorf("shard: ping payload %d bytes, want 8", len(payload)))
+				return
+			}
+			if err := l.writeFrame(ftPong, payload); err != nil {
+				l.fail(fmt.Errorf("shard: pong: %w", err))
+				return
+			}
+		case ftPong:
+			if len(payload) != 8 {
+				l.fail(fmt.Errorf("shard: pong payload %d bytes, want 8", len(payload)))
+				return
+			}
+			if ts := int64(getU64(payload)); ts > 0 {
+				if rtt := time.Now().UnixNano() - ts; rtt >= 0 {
+					metClusterHeartbeatRTT.Record(uint64(rtt))
+				}
+			}
+		case ftAbort:
+			if len(payload) != 8 {
+				l.fail(fmt.Errorf("shard: abort payload %d bytes, want 8", len(payload)))
+				return
+			}
+			nonce := getU64(payload)
+			if n.rank == 0 {
+				// Acknowledgement from a worker.
+				select {
+				case l.abortNonces <- nonce:
+				default:
+				}
+			} else if n.noteAbort(nonce) {
+				select {
+				case l.abortNonces <- nonce:
+				default:
+				}
+			}
 		case ftBye:
 			close(l.byeCh)
 			return

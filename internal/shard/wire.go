@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"aamgo/internal/aam"
 	"aamgo/internal/graph"
@@ -60,7 +61,33 @@ const (
 	ftBye
 	// ftError: either direction: utf-8 error text; the session is dead.
 	ftError
+	// ftPing: coordinator → worker heartbeat probe: sendNano u64. Sent on
+	// links that have been quiet past the heartbeat interval so liveness
+	// is measured even when no job traffic flows.
+	ftPing
+	// ftPong: worker → coordinator heartbeat echo; payload is the probe's
+	// sendNano verbatim, so the coordinator reads RTT off its own clock.
+	ftPong
+	// ftAbort: coordinator → worker: cancel the in-flight job (payload is
+	// the job nonce u64); worker → coordinator: acknowledgement echoing
+	// the same nonce once the worker has quiesced at the job boundary.
+	ftAbort
 )
+
+// ctrlFrameLenCap bounds the tiny control frames (ping/pong/abort carry
+// one u64). Enforced at the header so a hostile peer can't make an idle
+// link allocate maxFrameLen bytes for a heartbeat, or wedge the read
+// loop streaming a giant payload behind a control header.
+const ctrlFrameLenCap = 16
+
+// frameLenCap returns the payload cap for one frame type.
+func frameLenCap(ft frameType) uint32 {
+	switch ft {
+	case ftPing, ftPong, ftAbort:
+		return ctrlFrameLenCap
+	}
+	return maxFrameLen
+}
 
 // putFrameHeader writes the 8-byte header for a payload of length n into
 // hdr.
@@ -89,12 +116,12 @@ func readFrameHeader(r io.Reader) (frameType, int, error) {
 		return 0, 0, fmt.Errorf("shard: wire version %d, want %d", hdr[2], wireVersion)
 	}
 	ft := frameType(hdr[3])
-	if ft < ftHello || ft > ftError {
+	if ft < ftHello || ft > ftAbort {
 		return 0, 0, fmt.Errorf("shard: unknown frame type %d", hdr[3])
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:8])
-	if n > maxFrameLen {
-		return 0, 0, fmt.Errorf("shard: frame length %d exceeds cap %d", n, maxFrameLen)
+	if cap := frameLenCap(ft); n > cap {
+		return 0, 0, fmt.Errorf("shard: frame type %d length %d exceeds cap %d", ft, n, cap)
 	}
 	return ft, int(n), nil
 }
@@ -262,18 +289,32 @@ func appendStateCollPayload(buf []byte, check uint64, body []byte) []byte {
 
 // Job payload layout:
 //
+//	nonce u64 | jobRank u32 | jobRanks u32 |
 //	nameLen u8 | name | words u32 | nparams u32 | nparams × u64 |
 //	cfg (encodeConfig) | graph (graph.WriteBinary)
+//
+// The nonce identifies one job attempt (strictly increasing per cluster)
+// so aborts name the attempt they cancel and workers discard stale
+// specs. jobRank/jobRanks place this recipient in the attempt's rank
+// set, which can be smaller than the cluster when ranks were evicted —
+// the coordinator encodes the spec once and patches jobRank per
+// recipient (patchJobRank).
 //
 // The graph rides the job frame whole: at bench/CI scale shipping the CSR
 // (the "AAMG" binary format, weights included) is cheaper than inventing
 // a partition-shipping scheme, and it is exactly what the replica model
 // needs — every rank holds the full structure and owns a state slice.
+const jobPrologueLen = 8 + 4 + 4
+
 func encodeJob(spec jobSpec) ([]byte, error) {
 	if len(spec.Name) > 255 {
 		return nil, fmt.Errorf("shard: job name %q too long", spec.Name)
 	}
-	buf := []byte{byte(len(spec.Name))}
+	buf := make([]byte, jobPrologueLen, jobPrologueLen+1+len(spec.Name))
+	binary.LittleEndian.PutUint64(buf[0:8], spec.Nonce)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(spec.JobRank))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(spec.JobRanks))
+	buf = append(buf, byte(len(spec.Name)))
 	buf = append(buf, spec.Name...)
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(spec.Words))
@@ -293,12 +334,22 @@ func encodeJob(spec jobSpec) ([]byte, error) {
 	return w.buf, nil
 }
 
+// patchJobRank rewrites the jobRank field of an encoded job payload in
+// place, so one encodeJob serves every recipient of an attempt.
+func patchJobRank(payload []byte, jobRank int) {
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(jobRank))
+}
+
 // decodeJob is the inverse of encodeJob.
 func decodeJob(p []byte) (jobSpec, error) {
 	var spec jobSpec
-	if len(p) < 1 {
-		return spec, fmt.Errorf("shard: empty job payload")
+	if len(p) < jobPrologueLen+1 {
+		return spec, fmt.Errorf("shard: job payload %d bytes, want >= %d", len(p), jobPrologueLen+1)
 	}
+	spec.Nonce = binary.LittleEndian.Uint64(p[0:8])
+	spec.JobRank = int(int32(binary.LittleEndian.Uint32(p[8:12])))
+	spec.JobRanks = int(int32(binary.LittleEndian.Uint32(p[12:16])))
+	p = p[jobPrologueLen:]
 	nameLen := int(p[0])
 	p = p[1:]
 	if len(p) < nameLen+8 {
@@ -339,7 +390,12 @@ func decodeJob(p []byte) (jobSpec, error) {
 // Config wire layout:
 //
 //	shards u32 | workers u32 | batch u32 | htmRetries u32 |
-//	flush u8 | part u8 | dir u8 | mech u8 | nmechs u32 | nmechs × u8
+//	flush u8 | part u8 | dir u8 | mech u8 | nmechs u32 | nmechs × u8 |
+//	collTimeoutNs u64 | heartbeatNs u64 | livenessNs u64 | jobTimeoutNs u64
+//
+// The trailing durations ship so every rank of an attempt runs the same
+// failure-detection clock — a worker with a longer collective timeout
+// than its coordinator would linger in dead collectives after eviction.
 func appendConfig(buf []byte, cfg Config) []byte {
 	var u32 [4]byte
 	for _, v := range []int{cfg.Shards, cfg.Workers, cfg.BatchSize, cfg.HTMRetries} {
@@ -351,6 +407,11 @@ func appendConfig(buf []byte, cfg Config) []byte {
 	buf = append(buf, u32[:]...)
 	for _, m := range cfg.Mechanisms {
 		buf = append(buf, byte(m))
+	}
+	var u64 [8]byte
+	for _, d := range []time.Duration{cfg.CollTimeout, cfg.HeartbeatEvery, cfg.Liveness, cfg.JobTimeout} {
+		binary.LittleEndian.PutUint64(u64[:], uint64(d.Nanoseconds()))
+		buf = append(buf, u64[:]...)
 	}
 	return buf
 }
@@ -383,7 +444,18 @@ func decodeConfig(p []byte) (Config, []byte, error) {
 			cfg.Mechanisms[i] = aam.Mechanism(p[i])
 		}
 	}
-	return cfg, p[nmechs:], nil
+	p = p[nmechs:]
+	if len(p) < 4*8 {
+		return cfg, nil, fmt.Errorf("shard: truncated config timeouts")
+	}
+	for i, d := range []*time.Duration{&cfg.CollTimeout, &cfg.HeartbeatEvery, &cfg.Liveness, &cfg.JobTimeout} {
+		ns := binary.LittleEndian.Uint64(p[i*8 : i*8+8])
+		if ns > uint64(100*24*time.Hour) {
+			return cfg, nil, fmt.Errorf("shard: config timeout %d implausible (%d ns)", i, ns)
+		}
+		*d = time.Duration(ns)
+	}
+	return cfg, p[4*8:], nil
 }
 
 // checkGraphPayload rejects job graphs whose header promises more data

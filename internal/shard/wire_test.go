@@ -40,7 +40,7 @@ func TestFrameRejectsMalformed(t *testing.T) {
 		"bad magic": mk(func(h []byte) { h[0] = 0x00 }),
 		"bad ver":   mk(func(h []byte) { h[2] = 99 }),
 		"zero type": mk(func(h []byte) { h[3] = 0 }),
-		"high type": mk(func(h []byte) { h[3] = byte(ftError) + 1 }),
+		"high type": mk(func(h []byte) { h[3] = byte(ftAbort) + 1 }),
 		"oversized": mk(func(h []byte) { h[4], h[5], h[6], h[7] = 0xFF, 0xFF, 0xFF, 0xFF }),
 		"truncated": mk(func(h []byte) { h[4] = 16 }), // claims 16 bytes, has none
 	}
@@ -159,13 +159,26 @@ func FuzzWireFrame(f *testing.F) {
 	putFrameHeader(hello[:], ftHello, 0)
 	f.Add(hello[:])
 	f.Add(append([]byte{}, wireMagic0, wireMagic1, wireVersion, byte(ftBatch), 0xFF, 0xFF, 0xFF, 0xFF))
+	// Control frames (heartbeat probes/echoes and abort nonces): valid
+	// 8-byte payloads, plus a hostile ping claiming a giant payload — the
+	// reader must reject it at the header, before any allocation.
+	for _, ft := range []frameType{ftPing, ftPong, ftAbort} {
+		var ctrl [frameHdrLen + 8]byte
+		putFrameHeader(ctrl[:frameHdrLen], ft, 8)
+		putU64(ctrl[frameHdrLen:], 0x1122334455667788)
+		f.Add(ctrl[:])
+	}
+	f.Add(append([]byte{}, wireMagic0, wireMagic1, wireVersion, byte(ftPing), 0xFF, 0xFF, 0xFF, 0x00))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, payload, err := readFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		if ft < ftHello || ft > ftError {
+		if ft < ftHello || ft > ftAbort {
 			t.Fatalf("accepted frame type %d", ft)
+		}
+		if cap := frameLenCap(ft); uint32(len(payload)) > cap {
+			t.Fatalf("frame type %d accepted %d payload bytes over its %d cap", ft, len(payload), cap)
 		}
 		var hdr [frameHdrLen]byte
 		putFrameHeader(hdr[:], ft, len(payload))
